@@ -1,0 +1,68 @@
+//! Stealthy attacker models against Marzullo interval fusion.
+//!
+//! This crate implements Section III of the [DATE 2014 paper
+//! *Attack-Resilient Sensor Fusion*][paper]: an attacker controls `fa ≤ f`
+//! sensors, still reads their correct measurements, and forges the
+//! intervals they broadcast. Her **goal** is to maximise the width of the
+//! fusion interval (inject uncertainty); her **constraint** is to stay
+//! undetected by the system's overlap check, which she satisfies by
+//! operating in two modes:
+//!
+//! * **passive** — until enough measurements are on the bus
+//!   (`sent < n − f − far`), every forged interval must contain `Δ`, the
+//!   intersection of her sensors' correct readings, because any excluded
+//!   point might be the true value,
+//! * **active** — afterwards she may place intervals freely provided
+//!   overlap with the eventual fusion interval is guaranteed.
+//!
+//! Modules:
+//!
+//! * [`model`] — attacker configuration, modes, the Δ computation, the
+//!   [`AttackStrategy`] trait and the truthful baseline,
+//! * [`stealth`] — candidate feasibility checks and final stealth
+//!   verification,
+//! * [`full_knowledge`] — the exact solver for the paper's optimisation
+//!   problem (1): optimal forgery when all correct intervals are known,
+//! * [`expectimax`] — the exact expected-width evaluator for problem (2)
+//!   on a discretised measurement grid — the same methodology as the
+//!   paper's own evaluation (footnote 5) and the engine behind Table I,
+//! * [`strategies`] — practical streaming attack policies for Monte-Carlo
+//!   simulation (greedy, optimal-against-seen),
+//! * [`worst_case`] — exhaustive worst-case configuration search used to
+//!   validate Theorems 3 and 4 (Fig. 4),
+//! * [`regret`] — the Fig. 2 construction showing no optimal policy
+//!   exists under partial information.
+//!
+//! # Example
+//!
+//! ```
+//! use arsf_attack::full_knowledge::optimal_attack;
+//! use arsf_interval::Interval;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Two correct sensors seen on the bus; the attacker owns one sensor of
+//! // width 4 and knows the fusion runs with f = 1 (n = 3, so k = 2).
+//! let correct = [Interval::new(-2.0, 2.0)?, Interval::new(-1.0, 3.0)?];
+//! let attack = optimal_attack(&correct, &[4.0], 1)?;
+//! // Honest fusion would give [-1, 2]; the forged interval stretches it.
+//! assert!(attack.fusion.width() > 3.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [paper]: https://doi.org/10.7873/DATE.2014.067
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod expectimax;
+pub mod full_knowledge;
+pub mod model;
+pub mod regret;
+pub mod stealth;
+pub mod strategies;
+pub mod worst_case;
+
+pub use error::AttackError;
+pub use model::{delta, AttackMode, AttackStrategy, AttackerConfig, SlotContext, Truthful};

@@ -1,0 +1,176 @@
+//! The Fig. 2 construction: no attack policy is optimal under partial
+//! information.
+//!
+//! The paper's Fig. 2 shows an attacker who has seen only `s1` and must
+//! commit her forged interval before `s2` arrives. Whatever she sends —
+//! the one-sided `a1(1)` or the two-sided `a1(2)` — there is a placement
+//! of `s2` for which a different forgery would have produced a strictly
+//! wider fusion interval. This module packages that argument as an
+//! executable demonstration with exact hindsight optima.
+
+use arsf_interval::Interval;
+
+use crate::full_knowledge::optimal_attack;
+
+/// The outcome of evaluating one committed forgery against one
+/// realisation of the unseen interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegretCase {
+    /// The unseen correct interval that materialised.
+    pub s2: Interval<f64>,
+    /// The fusion width obtained with the committed forgery.
+    pub achieved: f64,
+    /// The fusion width the optimal forgery-in-hindsight achieves.
+    pub hindsight: f64,
+}
+
+impl RegretCase {
+    /// The attacker's regret: hindsight minus achieved (non-negative for
+    /// an exact hindsight solver).
+    pub fn regret(&self) -> f64 {
+        self.hindsight - self.achieved
+    }
+}
+
+/// Evaluates a committed forgery `a` against a realisation `s2`, with
+/// `s1` already on the bus and fusion parameter `f` (n = 3).
+///
+/// Returns `None` when the fusion of the three intervals fails (cannot
+/// happen for overlapping configurations) or the hindsight solver errors.
+pub fn evaluate_commitment(
+    s1: Interval<f64>,
+    a: Interval<f64>,
+    s2: Interval<f64>,
+    f: usize,
+) -> Option<RegretCase> {
+    let achieved = arsf_fusion::marzullo::fuse(&[s1, s2, a], f).ok()?.width();
+    let hindsight = optimal_attack(&[s1, s2], &[a.width()], f).ok()?.width();
+    Some(RegretCase {
+        s2,
+        achieved,
+        hindsight,
+    })
+}
+
+/// The packaged Fig. 2 demonstration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Demo {
+    /// The interval the attacker has seen.
+    pub s1: Interval<f64>,
+    /// The forged interval width.
+    pub width: f64,
+    /// The one-sided policy `a1(1)` and the realisation punishing it.
+    pub one_sided: (Interval<f64>, RegretCase),
+    /// The two-sided policy `a1(2)` and the realisation punishing it.
+    pub two_sided: (Interval<f64>, RegretCase),
+}
+
+/// Builds the Fig. 2 instance: `s1 = [0, 4]`, forged width 6, `f = 1`
+/// (n = 3, so fusion needs coverage 2).
+///
+/// * the **one-sided** policy `a1(1) = [3, 9]` leans right; if
+///   `s2 = [-3, 1]` appears on the left, hindsight (covering the left
+///   frontier) is strictly wider,
+/// * the **two-sided** policy `a1(2) = [-1, 5]` straddles `s1`; if the
+///   wide `s2 = [4, 12]` appears on the right, hindsight is again
+///   strictly wider (and the one-sided policy strictly beats the
+///   two-sided one, so neither policy dominates).
+///
+/// Both regrets are strictly positive, which is the paper's point: no
+/// committed forgery is optimal for every continuation.
+///
+/// # Example
+///
+/// ```
+/// let demo = arsf_attack::regret::fig2_demo();
+/// assert!(demo.one_sided.1.regret() > 0.0);
+/// assert!(demo.two_sided.1.regret() > 0.0);
+/// ```
+pub fn fig2_demo() -> Fig2Demo {
+    let s1 = Interval::new(0.0, 4.0).expect("static");
+    let width = 6.0;
+    let f = 1;
+
+    let a_one = Interval::new(3.0, 9.0).expect("static");
+    let s2_left = Interval::new(-3.0, 1.0).expect("static");
+    let one_case =
+        evaluate_commitment(s1, a_one, s2_left, f).expect("overlapping configuration fuses");
+
+    let a_two = Interval::new(-1.0, 5.0).expect("static");
+    let s2_right = Interval::new(4.0, 12.0).expect("static");
+    let two_case =
+        evaluate_commitment(s1, a_two, s2_right, f).expect("overlapping configuration fuses");
+
+    Fig2Demo {
+        s1,
+        width,
+        one_sided: (a_one, one_case),
+        two_sided: (a_two, two_case),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_both_policies_have_positive_regret() {
+        let demo = fig2_demo();
+        assert!(
+            demo.one_sided.1.regret() > 0.0,
+            "one-sided: achieved {} vs hindsight {}",
+            demo.one_sided.1.achieved,
+            demo.one_sided.1.hindsight
+        );
+        assert!(
+            demo.two_sided.1.regret() > 0.0,
+            "two-sided: achieved {} vs hindsight {}",
+            demo.two_sided.1.achieved,
+            demo.two_sided.1.hindsight
+        );
+    }
+
+    #[test]
+    fn fig2_policies_beat_each_other_on_their_punishing_cases() {
+        // On the left realisation, the two-sided policy does better than
+        // the one-sided one; on the right realisation, vice versa — no
+        // total order exists.
+        let demo = fig2_demo();
+        let one_on_left = demo.one_sided.1.achieved;
+        let two_on_left = evaluate_commitment(
+            demo.s1,
+            demo.two_sided.0,
+            demo.one_sided.1.s2,
+            1,
+        )
+        .unwrap()
+        .achieved;
+        assert!(
+            two_on_left > one_on_left,
+            "two-sided {} must beat one-sided {} on the left realisation",
+            two_on_left,
+            one_on_left
+        );
+    }
+
+    #[test]
+    fn hindsight_never_below_achieved() {
+        // The hindsight solver is exact, so regret is non-negative for
+        // any committed stealthy forgery.
+        let s1 = Interval::new(0.0, 4.0).unwrap();
+        for a_lo in [-4.0, -2.0, 0.0, 2.0, 4.0] {
+            let a = Interval::new(a_lo, a_lo + 6.0).unwrap();
+            for s2_lo in [-5.0, -2.0, 0.0, 2.0, 4.0] {
+                let s2 = Interval::new(s2_lo, s2_lo + 4.0).unwrap();
+                if let Some(case) = evaluate_commitment(s1, a, s2, 1) {
+                    assert!(
+                        case.regret() >= -1e-9,
+                        "a={a}, s2={s2}: achieved {} > hindsight {}",
+                        case.achieved,
+                        case.hindsight
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Stealth-constraint checks.
+//!
+//! The system discards any interval disjoint from the fusion interval, so
+//! a rational attacker only ever broadcasts intervals whose overlap with
+//! the fusion interval is *guaranteed*. This module provides the two
+//! feasibility predicates her placement search uses (one per mode) plus
+//! the exact post-hoc verification that experiments use as ground truth.
+
+use arsf_interval::Interval;
+
+/// Passive-mode feasibility: the forged interval must contain `Δ`
+/// entirely — "the entire Δ has to be included to ensure overlap with the
+/// fusion interval (otherwise, any excluded point may be the true value)".
+///
+/// # Example
+///
+/// ```
+/// use arsf_attack::stealth::passive_feasible;
+/// use arsf_interval::Interval;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let delta = Interval::new(9.8, 10.2)?;
+/// assert!(passive_feasible(&Interval::new(9.0, 10.2)?, &delta));
+/// assert!(!passive_feasible(&Interval::new(9.9, 11.0)?, &delta));
+/// # Ok(())
+/// # }
+/// ```
+pub fn passive_feasible(candidate: &Interval<f64>, delta: &Interval<f64>) -> bool {
+    candidate.contains_interval(delta)
+}
+
+/// Active-mode feasibility (the paper's sufficient condition): overlap
+/// with at least `n − f − 1` other intervals must be guaranteed. The
+/// attacker can count intervals already on the bus that the candidate
+/// overlaps, plus her own still-unsent intervals (which she will place to
+/// protect this one).
+///
+/// This is a *conservative pre-filter*; experiments additionally verify
+/// stealth exactly against the final fusion interval with
+/// [`verify_stealth`].
+///
+/// # Example
+///
+/// ```
+/// use arsf_attack::stealth::active_feasible;
+/// use arsf_interval::Interval;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let seen = [Interval::new(0.0, 2.0)?, Interval::new(1.0, 3.0)?];
+/// let candidate = Interval::new(1.5, 4.0)?; // overlaps both seen
+/// // n = 4, f = 1: needs overlap with 2 others; has 2 seen + 0 future.
+/// assert!(active_feasible(&candidate, &seen, 0, 4, 1));
+/// let lonely = Interval::new(10.0, 12.0)?;
+/// assert!(!active_feasible(&lonely, &seen, 1, 4, 1)); // 0 seen + 1 future < 2
+/// # Ok(())
+/// # }
+/// ```
+pub fn active_feasible(
+    candidate: &Interval<f64>,
+    seen: &[Interval<f64>],
+    future_own: usize,
+    n: usize,
+    f: usize,
+) -> bool {
+    let required = n.saturating_sub(f + 1);
+    let overlapping = seen.iter().filter(|s| s.intersects(candidate)).count();
+    overlapping + future_own >= required
+}
+
+/// Exact stealth verification: every attacked interval must intersect the
+/// final fusion interval. Returns the indices (into `attacked`) of
+/// intervals that would be flagged; an empty result means the attack went
+/// undetected.
+///
+/// # Example
+///
+/// ```
+/// use arsf_attack::stealth::verify_stealth;
+/// use arsf_interval::Interval;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fusion = Interval::new(0.0, 5.0)?;
+/// let attacked = [Interval::new(4.0, 8.0)?, Interval::new(9.0, 11.0)?];
+/// assert_eq!(verify_stealth(&attacked, &fusion), vec![1]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn verify_stealth(attacked: &[Interval<f64>], fusion: &Interval<f64>) -> Vec<usize> {
+    attacked
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| !a.intersects(fusion))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> Interval<f64> {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn passive_requires_full_delta_containment() {
+        let delta = iv(1.0, 2.0);
+        assert!(passive_feasible(&iv(1.0, 2.0), &delta)); // exact fit
+        assert!(passive_feasible(&iv(0.0, 3.0), &delta));
+        assert!(!passive_feasible(&iv(1.1, 3.0), &delta)); // clips delta
+        assert!(!passive_feasible(&iv(-1.0, 1.9), &delta));
+    }
+
+    #[test]
+    fn active_counts_seen_overlaps_and_future_protection() {
+        let seen = [iv(0.0, 1.0), iv(0.5, 2.0), iv(1.5, 3.0)];
+        // n = 5, f = 1: required = 3.
+        let c = iv(0.75, 1.6); // overlaps all three seen
+        assert!(active_feasible(&c, &seen, 0, 5, 1));
+        let c2 = iv(2.5, 4.0); // overlaps only the last
+        assert!(!active_feasible(&c2, &seen, 1, 5, 1)); // 1 + 1 < 3
+        assert!(active_feasible(&c2, &seen, 2, 5, 1)); // 1 + 2 = 3
+    }
+
+    #[test]
+    fn active_touching_counts_as_overlap() {
+        let seen = [iv(0.0, 1.0)];
+        let c = iv(1.0, 2.0);
+        // n = 3, f = 1: required = 1; the touching endpoint suffices.
+        assert!(active_feasible(&c, &seen, 0, 3, 1));
+    }
+
+    #[test]
+    fn required_overlap_saturates() {
+        // n <= f + 1 means no overlap requirement at all.
+        assert!(active_feasible(&iv(0.0, 1.0), &[], 0, 2, 1));
+    }
+
+    #[test]
+    fn verify_stealth_flags_only_disjoint() {
+        let fusion = iv(0.0, 1.0);
+        let attacked = [iv(1.0, 2.0), iv(1.0001, 2.0), iv(-5.0, 0.0)];
+        assert_eq!(verify_stealth(&attacked, &fusion), vec![1]);
+        assert!(verify_stealth(&[], &fusion).is_empty());
+    }
+}

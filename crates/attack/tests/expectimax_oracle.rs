@@ -1,0 +1,149 @@
+//! Cross-validation of the expectimax engine against an independent
+//! oracle: when the attacker transmits *last*, her expectimax policy
+//! degenerates to full knowledge, so the expected width must equal the
+//! average of the exact per-realisation optima computed by the lattice
+//! solver. Any disagreement indicts one of the two engines.
+
+use arsf_attack::expectimax::{expected_fusion_width, expected_honest_width, GridScenario};
+use arsf_attack::full_knowledge::optimal_attack;
+use arsf_interval::Interval;
+use arsf_schedule::TransmissionOrder;
+
+/// Enumerates every grid placement of the correct sensors (mirroring the
+/// scenario's measurement grid) and averages the exact full-knowledge
+/// optimum for the attacked width.
+fn oracle_last_slot(widths: &[f64], attacked: usize, f: usize, step: f64) -> f64 {
+    let correct: Vec<(usize, f64)> = widths
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(i, _)| *i != attacked)
+        .collect();
+    let grids: Vec<Vec<f64>> = correct
+        .iter()
+        .map(|(_, w)| {
+            let count = ((w / step).round() as usize).max(0);
+            (0..=count)
+                .map(|j| {
+                    if count == 0 {
+                        0.0
+                    } else {
+                        -w * 0.5 + w * j as f64 / count as f64
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut total = 0.0;
+    let mut configs = 0u64;
+    let mut choice = vec![0usize; grids.len()];
+    loop {
+        let placed: Vec<Interval<f64>> = grids
+            .iter()
+            .zip(&choice)
+            .zip(&correct)
+            .map(|((g, &j), (_, w))| Interval::centered(g[j], w * 0.5).expect("finite"))
+            .collect();
+        let best = optimal_attack(&placed, &[widths[attacked]], f)
+            .expect("bounded configurations")
+            .width();
+        total += best;
+        configs += 1;
+
+        let mut i = 0;
+        loop {
+            if i == choice.len() {
+                break;
+            }
+            choice[i] += 1;
+            if choice[i] < grids[i].len() {
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+        if i == choice.len() {
+            break;
+        }
+    }
+    total / configs as f64
+}
+
+#[test]
+fn expectimax_matches_full_knowledge_oracle_when_attacker_is_last() {
+    let cases: Vec<(Vec<f64>, usize, usize, f64)> = vec![
+        (vec![4.0, 6.0, 10.0], 0, 1, 2.0),
+        (vec![4.0, 6.0, 10.0], 0, 1, 1.0),
+        (vec![2.0, 8.0, 6.0], 2, 1, 2.0),
+        (vec![4.0, 4.0, 8.0, 12.0], 0, 1, 4.0),
+    ];
+    for (widths, attacked, f, step) in cases {
+        // Order: everyone else first, the attacked sensor last.
+        let mut order: Vec<usize> = (0..widths.len()).filter(|&i| i != attacked).collect();
+        order.push(attacked);
+        let order = TransmissionOrder::new(order).unwrap();
+
+        let scenario = GridScenario::new(widths.clone(), vec![attacked], f, step);
+        let outcome = expected_fusion_width(&scenario, &order);
+        let oracle = oracle_last_slot(&widths, attacked, f, step);
+        assert!(
+            (outcome.expected_width - oracle).abs() < 1e-9,
+            "widths {widths:?}, attacked {attacked}, step {step}: expectimax {} vs oracle {oracle}",
+            outcome.expected_width
+        );
+        assert!(outcome.stealthy);
+    }
+}
+
+#[test]
+fn expectimax_with_earlier_slot_never_beats_last_slot() {
+    // Less information cannot help an optimal attacker.
+    let widths = vec![4.0, 6.0, 10.0];
+    let scenario = GridScenario::new(widths.clone(), vec![0], 1, 2.0);
+    let last = TransmissionOrder::new(vec![1, 2, 0]).unwrap();
+    let middle = TransmissionOrder::new(vec![1, 0, 2]).unwrap();
+    let first = TransmissionOrder::new(vec![0, 1, 2]).unwrap();
+    let e_last = expected_fusion_width(&scenario, &last).expected_width;
+    let e_middle = expected_fusion_width(&scenario, &middle).expected_width;
+    let e_first = expected_fusion_width(&scenario, &first).expected_width;
+    assert!(e_first <= e_middle + 1e-9, "first {e_first} vs middle {e_middle}");
+    assert!(e_middle <= e_last + 1e-9, "middle {e_middle} vs last {e_last}");
+}
+
+#[test]
+fn expectimax_attack_dominates_honest_for_every_order() {
+    let widths = vec![4.0, 6.0, 8.0];
+    let scenario = GridScenario::new(widths.clone(), vec![1], 1, 2.0);
+    let honest = expected_honest_width(&scenario);
+    for order in [
+        TransmissionOrder::new(vec![0, 1, 2]).unwrap(),
+        TransmissionOrder::new(vec![2, 1, 0]).unwrap(),
+        TransmissionOrder::new(vec![1, 0, 2]).unwrap(),
+        TransmissionOrder::new(vec![0, 2, 1]).unwrap(),
+    ] {
+        let outcome = expected_fusion_width(&scenario, &order);
+        assert!(
+            outcome.expected_width >= honest - 1e-9,
+            "order {order}: {} below honest {honest}",
+            outcome.expected_width
+        );
+    }
+}
+
+#[test]
+fn two_attacked_consecutive_slots_coordinate() {
+    // n = 5, f = 2, two attacked sensors transmitting last: their joint
+    // expectimax must at least match the single-attacker variant on the
+    // same schedule (more compromised sensors, more power).
+    let widths = vec![2.0, 2.0, 4.0, 6.0, 8.0];
+    let order = TransmissionOrder::new(vec![2, 3, 4, 0, 1]).unwrap();
+    let single = GridScenario::new(widths.clone(), vec![0], 2, 4.0);
+    let double = GridScenario::new(widths.clone(), vec![0, 1], 2, 4.0);
+    let e_single = expected_fusion_width(&single, &order).expected_width;
+    let e_double = expected_fusion_width(&double, &order).expected_width;
+    assert!(
+        e_double >= e_single - 1e-9,
+        "double {e_double} must dominate single {e_single}"
+    );
+}

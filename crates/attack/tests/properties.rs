@@ -1,0 +1,163 @@
+//! Property-based tests for the attack crate: solver exactness and the
+//! paper's theorems on random configurations.
+
+use arsf_attack::full_knowledge::{brute_force_attack, optimal_attack};
+use arsf_attack::stealth::verify_stealth;
+use arsf_attack::worst_case::{attacked_worst_case, global_worst_case, no_attack_worst_case};
+use arsf_attack::AttackError;
+use arsf_interval::Interval;
+use proptest::prelude::*;
+
+/// Correct intervals on a small integer grid, all containing 0 (the
+/// truth), as in the paper's system model.
+fn truthful_intervals(max: usize) -> impl Strategy<Value = Vec<Interval<f64>>> {
+    prop::collection::vec((0_i64..8, 0_i64..8), 2..=max).prop_map(|shapes| {
+        shapes
+            .into_iter()
+            .map(|(left, right)| Interval::new(-(left as f64), right as f64).expect("ordered"))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lattice_solver_matches_grid_oracle_single(
+        correct in truthful_intervals(4),
+        w in 0_i64..10,
+    ) {
+        // n = correct + 1, f chosen to keep fa=1 bounded: k = n-1 > 1.
+        let f = 1;
+        let n = correct.len() + 1;
+        prop_assume!(1 < n - f);
+        let exact = optimal_attack(&correct, &[w as f64], f).unwrap();
+        let oracle = brute_force_attack(&correct, &[w as f64], f, 1.0).unwrap();
+        prop_assert!(
+            (exact.width() - oracle.width()).abs() < 1e-9,
+            "exact {} vs oracle {} for correct={:?}, w={}",
+            exact.width(), oracle.width(), correct, w
+        );
+    }
+
+    #[test]
+    fn lattice_solver_matches_grid_oracle_double(
+        correct in truthful_intervals(3),
+        w1 in 0_i64..6,
+        w2 in 0_i64..6,
+    ) {
+        let f = 2;
+        let n = correct.len() + 2;
+        prop_assume!(2 < n - f);
+        let widths = [w1 as f64, w2 as f64];
+        let exact = optimal_attack(&correct, &widths, f).unwrap();
+        let oracle = brute_force_attack(&correct, &widths, f, 1.0).unwrap();
+        prop_assert!(
+            (exact.width() - oracle.width()).abs() < 1e-9,
+            "exact {} vs oracle {} for correct={:?}, widths={:?}",
+            exact.width(), oracle.width(), correct, widths
+        );
+    }
+
+    #[test]
+    fn optimal_attack_is_stealthy_and_width_preserving(
+        correct in truthful_intervals(4),
+        w in 0_i64..10,
+    ) {
+        let f = 1;
+        prop_assume!(1 < correct.len() + 1 - f);
+        let attack = optimal_attack(&correct, &[w as f64], f).unwrap();
+        prop_assert!(verify_stealth(&attack.placements, &attack.fusion).is_empty());
+        prop_assert!((attack.placements[0].width() - w as f64).abs() < 1e-12);
+        // Never worse than honesty.
+        if let Some(honest) = attack.honest_width {
+            prop_assert!(attack.width() >= honest - 1e-12);
+        }
+    }
+
+    #[test]
+    fn theorem2_bound_on_attacked_configurations(
+        correct in truthful_intervals(4),
+        w in 0_i64..10,
+    ) {
+        // |S_{N,f}| <= sum of two widest correct widths.
+        let f = 1;
+        prop_assume!(1 < correct.len() + 1 - f);
+        let attack = optimal_attack(&correct, &[w as f64], f).unwrap();
+        let mut widths: Vec<f64> = correct.iter().map(|s| s.width()).collect();
+        widths.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let bound = widths[0] + widths[1];
+        prop_assert!(
+            attack.width() <= bound + 1e-9,
+            "width {} exceeds Theorem 2 bound {bound}",
+            attack.width()
+        );
+    }
+
+    #[test]
+    fn theorem3_largest_attacked_equals_no_attack(
+        mut widths in prop::collection::vec(1_i64..8, 3..=4),
+        extra in 8_i64..12,
+    ) {
+        // Make the last sensor strictly the largest, attack it.
+        widths.sort_unstable();
+        let mut ws: Vec<f64> = widths.iter().map(|&w| w as f64).collect();
+        ws.push(extra as f64);
+        let f = 1;
+        let n = ws.len();
+        prop_assume!(1 < n - f);
+        let na = no_attack_worst_case(&ws, f, 1.0).unwrap();
+        let attacked = attacked_worst_case(&ws, &[n - 1], f, 1.0).unwrap();
+        prop_assert!(
+            (attacked.width - na.width).abs() < 1e-9,
+            "attacking the largest changed the worst case: {} vs {}",
+            attacked.width, na.width
+        );
+    }
+
+    #[test]
+    fn theorem4_smallest_attacked_achieves_global_worst_case(
+        mut widths in prop::collection::vec(1_i64..9, 3..=4),
+    ) {
+        widths.sort_unstable();
+        let ws: Vec<f64> = widths.iter().map(|&w| w as f64).collect();
+        let f = 1;
+        let n = ws.len();
+        prop_assume!(1 < n - f);
+        let (_, global) = global_worst_case(&ws, 1, f, 1.0).unwrap();
+        let smallest = attacked_worst_case(&ws, &[0], f, 1.0).unwrap();
+        prop_assert!(
+            (smallest.width - global.width).abs() < 1e-9,
+            "smallest-attack {} vs global {}",
+            smallest.width, global.width
+        );
+    }
+
+    #[test]
+    fn worst_case_attack_dominates_no_attack(
+        widths in prop::collection::vec(1_i64..8, 3..=4),
+        victim_seed in 0_usize..4,
+    ) {
+        let ws: Vec<f64> = widths.iter().map(|&w| w as f64).collect();
+        let f = 1;
+        prop_assume!(1 < ws.len() - f);
+        let victim = victim_seed % ws.len();
+        let na = no_attack_worst_case(&ws, f, 1.0).unwrap();
+        let wc = attacked_worst_case(&ws, &[victim], f, 1.0).unwrap();
+        prop_assert!(wc.width >= na.width - 1e-9);
+    }
+
+    #[test]
+    fn unbounded_attacks_are_rejected(
+        correct in truthful_intervals(2),
+        w in 1_i64..5,
+    ) {
+        // fa = correct.len() with f = correct.len() makes k = fa: error.
+        let fa = correct.len();
+        let widths = vec![w as f64; fa];
+        let f = fa;
+        let result = optimal_attack(&correct, &widths, f);
+        let unbounded = matches!(result, Err(AttackError::UnboundedAttack { .. }));
+        prop_assert!(unbounded);
+    }
+}

@@ -1,0 +1,81 @@
+//! Criterion bench (ablation): what detection costs and what the
+//! attacker's planning machinery costs.
+//!
+//! Compares pipeline rounds with detection off / immediate / windowed,
+//! and the attacked round under different attack strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use arsf_attack::strategies::{GreedyExtreme, PhantomOptimal, Side};
+use arsf_attack::{AttackStrategy, AttackerConfig, Truthful};
+use arsf_core::{DetectionMode, FusionPipeline, PipelineConfig};
+use arsf_schedule::SchedulePolicy;
+
+fn bench_detection_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_detection_mode");
+    for (label, mode) in [
+        ("off", DetectionMode::Off),
+        ("immediate", DetectionMode::Immediate),
+        (
+            "windowed_20_6",
+            DetectionMode::Windowed {
+                window: 20,
+                tolerance: 6,
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::new("pipeline_round", label), &mode, |b, m| {
+            let mut pipeline = FusionPipeline::builder(arsf_sensor::suite::landshark())
+                .config(PipelineConfig::new(1, SchedulePolicy::Ascending).with_detection(*m))
+                .build();
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| pipeline.run_round(std::hint::black_box(10.0), &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_strategy_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_attack_strategy");
+    let make_strategy = |label: &str| -> Box<dyn AttackStrategy> {
+        match label {
+            "phantom_optimal" => Box::new(PhantomOptimal::new()),
+            "greedy_high" => Box::new(GreedyExtreme::new(Side::High)),
+            _ => Box::new(Truthful),
+        }
+    };
+    for label in ["phantom_optimal", "greedy_high", "truthful"] {
+        group.bench_with_input(
+            BenchmarkId::new("descending_round", label),
+            &label,
+            |b, l| {
+                let mut pipeline = FusionPipeline::builder(arsf_sensor::suite::landshark())
+                    .config(PipelineConfig::new(1, SchedulePolicy::Descending))
+                    .attacker(AttackerConfig::new([0], 1), make_strategy(l))
+                    .build();
+                let mut rng = StdRng::seed_from_u64(5);
+                b.iter(|| pipeline.run_round(std::hint::black_box(10.0), &mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+
+/// Shared bench configuration: short measurement windows keep the whole
+/// workspace bench run in the minutes range while remaining stable.
+fn configured() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_detection_modes, bench_strategy_cost
+}
+criterion_main!(benches);

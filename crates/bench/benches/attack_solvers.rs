@@ -1,0 +1,70 @@
+//! Criterion bench: cost of the attack solvers — the exact
+//! full-knowledge lattice solver vs the dense-grid oracle, and the
+//! expectimax evaluator across grid resolutions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use arsf_attack::expectimax::{expected_fusion_width, GridScenario};
+use arsf_attack::full_knowledge::{brute_force_attack, optimal_attack};
+use arsf_interval::Interval;
+use arsf_schedule::SchedulePolicy;
+
+fn correct_set() -> Vec<Interval<f64>> {
+    vec![
+        Interval::new(-2.5, 2.5).expect("static"),
+        Interval::new(-5.5, 5.5).expect("static"),
+        Interval::new(-8.5, 8.5).expect("static"),
+        Interval::new(-3.0, 7.0).expect("static"),
+    ]
+}
+
+fn bench_full_knowledge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_knowledge_solver");
+    let correct = correct_set();
+    for fa in [1usize, 2] {
+        let widths = vec![5.0; fa];
+        group.bench_with_input(BenchmarkId::new("lattice_exact", fa), &widths, |b, w| {
+            b.iter(|| optimal_attack(std::hint::black_box(&correct), w, 2))
+        });
+        group.bench_with_input(BenchmarkId::new("grid_oracle", fa), &widths, |b, w| {
+            b.iter(|| brute_force_attack(std::hint::black_box(&correct), w, 2, 1.0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_expectimax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expectimax");
+    group.sample_size(10);
+    let widths = vec![5.0, 11.0, 17.0];
+    let mut rng = StdRng::seed_from_u64(0);
+    let order = SchedulePolicy::Descending.order(&widths, 0, &mut rng);
+    for step in [4.0, 2.0, 1.0] {
+        let scenario = GridScenario::new(widths.clone(), vec![0], 1, step);
+        group.bench_with_input(
+            BenchmarkId::new("table1_cell_desc", format!("step{step}")),
+            &scenario,
+            |b, sc| b.iter(|| expected_fusion_width(std::hint::black_box(sc), &order)),
+        );
+    }
+    group.finish();
+}
+
+
+/// Shared bench configuration: short measurement windows keep the whole
+/// workspace bench run in the minutes range while remaining stable.
+fn configured() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_full_knowledge, bench_expectimax
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench: end-to-end fusion-pipeline round latency (sample →
+//! schedule → attack → fuse → detect) on the LandShark suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use arsf_attack::strategies::PhantomOptimal;
+use arsf_attack::AttackerConfig;
+use arsf_core::{FusionPipeline, PipelineConfig};
+use arsf_schedule::SchedulePolicy;
+
+fn bench_pipeline_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_round");
+    for policy in [SchedulePolicy::Ascending, SchedulePolicy::Descending] {
+        group.bench_with_input(
+            BenchmarkId::new("honest", policy.name()),
+            &policy,
+            |b, p| {
+                let mut pipeline = FusionPipeline::builder(arsf_sensor::suite::landshark())
+                    .config(PipelineConfig::new(1, p.clone()))
+                    .build();
+                let mut rng = StdRng::seed_from_u64(9);
+                b.iter(|| pipeline.run_round(std::hint::black_box(10.0), &mut rng))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("attacked_encoder", policy.name()),
+            &policy,
+            |b, p| {
+                let mut pipeline = FusionPipeline::builder(arsf_sensor::suite::landshark())
+                    .config(PipelineConfig::new(1, p.clone()))
+                    .attacker(
+                        AttackerConfig::new([0], 1),
+                        Box::new(PhantomOptimal::new()),
+                    )
+                    .build();
+                let mut rng = StdRng::seed_from_u64(9);
+                b.iter(|| pipeline.run_round(std::hint::black_box(10.0), &mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+
+/// Shared bench configuration: short measurement windows keep the whole
+/// workspace bench run in the minutes range while remaining stable.
+fn configured() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_pipeline_round
+}
+criterion_main!(benches);

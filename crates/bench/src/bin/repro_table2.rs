@@ -1,0 +1,71 @@
+//! Reproduces **Table II**: case-study results for each of the three
+//! schedules — the percentage of rounds in which the fusion interval's
+//! upper bound exceeded 10.5 mph or its lower bound dropped below
+//! 9.5 mph, for a LandShark holding 10 mph with one uniformly-random
+//! sensor compromised per round.
+//!
+//! Run with: `cargo run --release -p arsf-bench --bin repro_table2`
+//!
+//! Options: `--rounds <n>` (default 20000), `--seed <s>`.
+
+use arsf_bench::{arg_value, TextTable};
+use arsf_sim::table2::{run_all, Table2Config};
+
+fn main() {
+    let mut config = Table2Config::default();
+    if let Some(rounds) = arg_value("--rounds").and_then(|s| s.parse().ok()) {
+        config.rounds = rounds;
+    }
+    if let Some(seed) = arg_value("--seed").and_then(|s| s.parse().ok()) {
+        config.seed = seed;
+    }
+
+    println!("Table II: case study results for each of the three schedules");
+    println!(
+        "(v = {} mph, envelope [{}, {}] mph, {} rounds per schedule,",
+        config.target,
+        config.target - config.delta_down,
+        config.target + config.delta_up,
+        config.rounds
+    );
+    println!("one uniformly-random compromised sensor per round)\n");
+
+    let rows = run_all(&config);
+
+    // Paper's reported values.
+    let paper = [(0.0, 0.0), (17.42, 17.65), (5.72, 5.97)];
+
+    let mut table = TextTable::new(vec![
+        "".into(),
+        "ascending".into(),
+        "descending".into(),
+        "random".into(),
+        "paper (A/D/R)".into(),
+    ]);
+    table.row(vec![
+        "more than 10.5 mph".into(),
+        format!("{:.2}%", rows[0].above * 100.0),
+        format!("{:.2}%", rows[1].above * 100.0),
+        format!("{:.2}%", rows[2].above * 100.0),
+        format!("{}% / {}% / {}%", paper[0].0, paper[1].0, paper[2].0),
+    ]);
+    table.row(vec![
+        "less than 9.5 mph".into(),
+        format!("{:.2}%", rows[0].below * 100.0),
+        format!("{:.2}%", rows[1].below * 100.0),
+        format!("{:.2}%", rows[2].below * 100.0),
+        format!("{}% / {}% / {}%", paper[0].1, paper[1].1, paper[2].1),
+    ]);
+    println!("{}", table.render());
+
+    // Shape checks from the paper.
+    assert_eq!(rows[0].above, 0.0, "ascending must show 0% above");
+    assert_eq!(rows[0].below, 0.0, "ascending must show 0% below");
+    let total = |i: usize| rows[i].above + rows[i].below;
+    assert!(total(2) > 0.0, "random must violate sometimes");
+    assert!(
+        total(1) > total(2),
+        "descending must violate more than random"
+    );
+    println!("Shape check (paper): Ascending 0%, Random in between, Descending worst.");
+}

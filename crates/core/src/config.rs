@@ -1,0 +1,97 @@
+//! Pipeline configuration.
+
+use arsf_schedule::SchedulePolicy;
+
+/// How the controller reacts to intervals disjoint from the fusion
+/// interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DetectionMode {
+    /// No detection at all (ablation baseline).
+    Off,
+    /// The paper's rule: flag immediately on every violation.
+    Immediate,
+    /// Footnote 1's temporal model: condemn a sensor only when it
+    /// violates more than `tolerance` times within the last `window`
+    /// rounds.
+    Windowed {
+        /// Window length `w` in rounds.
+        window: usize,
+        /// Tolerated violations per window.
+        tolerance: usize,
+    },
+}
+
+/// Validated pipeline configuration: fusion fault assumption, schedule
+/// policy and detection mode.
+///
+/// # Example
+///
+/// ```
+/// use arsf_core::{DetectionMode, PipelineConfig};
+/// use arsf_schedule::SchedulePolicy;
+///
+/// let cfg = PipelineConfig::new(1, SchedulePolicy::Ascending)
+///     .with_detection(DetectionMode::Windowed { window: 10, tolerance: 2 });
+/// assert_eq!(cfg.f(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    f: usize,
+    schedule: SchedulePolicy,
+    detection: DetectionMode,
+}
+
+impl PipelineConfig {
+    /// Creates a configuration with [`DetectionMode::Immediate`]
+    /// detection (the paper's default).
+    pub fn new(f: usize, schedule: SchedulePolicy) -> Self {
+        Self {
+            f,
+            schedule,
+            detection: DetectionMode::Immediate,
+        }
+    }
+
+    /// Overrides the detection mode (builder style).
+    #[must_use]
+    pub fn with_detection(mut self, detection: DetectionMode) -> Self {
+        self.detection = detection;
+        self
+    }
+
+    /// The fusion fault assumption `f`.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// The schedule policy.
+    pub fn schedule(&self) -> &SchedulePolicy {
+        &self.schedule
+    }
+
+    /// The detection mode.
+    pub fn detection(&self) -> DetectionMode {
+        self.detection
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_detection_is_immediate() {
+        let cfg = PipelineConfig::new(2, SchedulePolicy::Descending);
+        assert_eq!(cfg.detection(), DetectionMode::Immediate);
+        assert_eq!(cfg.f(), 2);
+        assert_eq!(cfg.schedule().name(), "descending");
+    }
+
+    #[test]
+    fn detection_override() {
+        let cfg = PipelineConfig::new(1, SchedulePolicy::Random)
+            .with_detection(DetectionMode::Off);
+        assert_eq!(cfg.detection(), DetectionMode::Off);
+    }
+}

@@ -1,0 +1,52 @@
+//! The attack-resilient sensor-fusion pipeline.
+//!
+//! This crate assembles the substrates ([`arsf_sensor`], [`arsf_schedule`],
+//! [`arsf_attack`], [`arsf_fusion`], [`arsf_detect`], [`arsf_bus`]) into
+//! the system the [DATE 2014 paper][paper] describes: `n` sensors measure
+//! one physical variable, broadcast abstract intervals over a shared bus
+//! in a scheduled order, an attacker forges the intervals of the sensors
+//! she controls using everything already on the wire, and the controller
+//! fuses with Marzullo's algorithm and runs attack detection.
+//!
+//! * [`FusionPipeline`] — the round engine: sample → schedule → (attack)
+//!   → fuse → detect, one call per control period,
+//! * [`PipelineConfig`]/[`DetectionMode`] — validated configuration,
+//! * [`RoundOutcome`] — everything observable about one round,
+//! * [`metrics`] — violation counters and width statistics used by the
+//!   experiment harnesses,
+//! * [`transport`] — the same round executed over the `arsf-bus`
+//!   broadcast substrate with sensor, attacker and controller *nodes*
+//!   (used to show transport equivalence and in the bus demos).
+//!
+//! # Example
+//!
+//! ```
+//! use arsf_attack::{strategies::PhantomOptimal, AttackerConfig};
+//! use arsf_core::{FusionPipeline, PipelineConfig};
+//! use arsf_schedule::SchedulePolicy;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // LandShark suite under Ascending schedule, encoder 0 compromised.
+//! let mut pipeline = FusionPipeline::builder(arsf_sensor::suite::landshark())
+//!     .config(PipelineConfig::new(1, SchedulePolicy::Ascending))
+//!     .attacker(AttackerConfig::new([0], 1), Box::new(PhantomOptimal::new()))
+//!     .build();
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let outcome = pipeline.run_round(10.0, &mut rng);
+//! let fused = outcome.fusion.expect("sensors agree");
+//! assert!(fused.contains(10.0), "fa <= f keeps the truth inside");
+//! assert!(outcome.flagged.is_empty(), "the attacker stays stealthy");
+//! ```
+//!
+//! [paper]: https://doi.org/10.7873/DATE.2014.067
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod metrics;
+mod pipeline;
+pub mod transport;
+
+pub use config::{DetectionMode, PipelineConfig};
+pub use pipeline::{FusionPipeline, PipelineBuilder, RoundOutcome};

@@ -1,0 +1,220 @@
+//! Experiment metrics: violation counters and width statistics.
+
+use arsf_interval::Interval;
+
+/// Counts rounds whose fusion interval escapes a safety envelope — the
+/// case study's criterion ("the percentage of runs in which the fusion
+/// interval's upper bound was above 10.5 mph / lower bound below 9.5").
+///
+/// # Example
+///
+/// ```
+/// use arsf_core::metrics::ViolationCounter;
+/// use arsf_interval::Interval;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut counter = ViolationCounter::new(9.5, 10.5);
+/// counter.record(&Interval::new(9.8, 10.2)?);  // safe
+/// counter.record(&Interval::new(9.8, 10.7)?);  // upper violation
+/// counter.record(&Interval::new(9.3, 10.2)?);  // lower violation
+/// assert_eq!(counter.rounds(), 3);
+/// assert!((counter.upper_rate() - 1.0 / 3.0).abs() < 1e-12);
+/// assert!((counter.lower_rate() - 1.0 / 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViolationCounter {
+    lower_bound: f64,
+    upper_bound: f64,
+    rounds: u64,
+    upper_violations: u64,
+    lower_violations: u64,
+}
+
+impl ViolationCounter {
+    /// Creates a counter for the envelope `[lower_bound, upper_bound]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not finite or inverted.
+    pub fn new(lower_bound: f64, upper_bound: f64) -> Self {
+        assert!(
+            lower_bound.is_finite() && upper_bound.is_finite() && lower_bound <= upper_bound,
+            "violation envelope must be a finite ordered pair"
+        );
+        Self {
+            lower_bound,
+            upper_bound,
+            rounds: 0,
+            upper_violations: 0,
+            lower_violations: 0,
+        }
+    }
+
+    /// Records one round's fusion interval.
+    pub fn record(&mut self, fusion: &Interval<f64>) {
+        self.rounds += 1;
+        if fusion.hi() > self.upper_bound {
+            self.upper_violations += 1;
+        }
+        if fusion.lo() < self.lower_bound {
+            self.lower_violations += 1;
+        }
+    }
+
+    /// Rounds recorded.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Fraction of rounds whose upper bound escaped (0 when empty).
+    pub fn upper_rate(&self) -> f64 {
+        rate(self.upper_violations, self.rounds)
+    }
+
+    /// Fraction of rounds whose lower bound escaped (0 when empty).
+    pub fn lower_rate(&self) -> f64 {
+        rate(self.lower_violations, self.rounds)
+    }
+}
+
+fn rate(hits: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// Streaming width statistics (mean / min / max) without storing samples.
+///
+/// # Example
+///
+/// ```
+/// use arsf_core::metrics::WidthStats;
+///
+/// let mut stats = WidthStats::new();
+/// stats.record(2.0);
+/// stats.record(4.0);
+/// assert_eq!(stats.mean(), 3.0);
+/// assert_eq!(stats.min(), Some(2.0));
+/// assert_eq!(stats.max(), Some(4.0));
+/// assert_eq!(stats.count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WidthStats {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl WidthStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one width sample.
+    pub fn record(&mut self, width: f64) {
+        self.count += 1;
+        self.sum += width;
+        self.min = self.min.min(width);
+        self.max = self.max.max(width);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean width (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> Interval<f64> {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn counter_tracks_both_sides_independently() {
+        let mut c = ViolationCounter::new(-1.0, 1.0);
+        c.record(&iv(-2.0, 2.0)); // both sides
+        c.record(&iv(-0.5, 0.5)); // neither
+        assert_eq!(c.rounds(), 2);
+        assert_eq!(c.upper_rate(), 0.5);
+        assert_eq!(c.lower_rate(), 0.5);
+    }
+
+    #[test]
+    fn touching_the_envelope_is_not_a_violation() {
+        let mut c = ViolationCounter::new(-1.0, 1.0);
+        c.record(&iv(-1.0, 1.0));
+        assert_eq!(c.upper_rate(), 0.0);
+        assert_eq!(c.lower_rate(), 0.0);
+    }
+
+    #[test]
+    fn empty_counter_rates_are_zero() {
+        let c = ViolationCounter::new(0.0, 1.0);
+        assert_eq!(c.upper_rate(), 0.0);
+        assert_eq!(c.lower_rate(), 0.0);
+        assert_eq!(c.rounds(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite ordered pair")]
+    fn inverted_envelope_panics() {
+        let _ = ViolationCounter::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn width_stats_accumulate() {
+        let mut s = WidthStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        for w in [3.0, 1.0, 2.0] {
+            s.record(w);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(3.0));
+    }
+
+    #[test]
+    fn default_equals_new() {
+        // Default derives zeros; new() uses sentinels — both behave the
+        // same through the public API on empty stats.
+        let d = WidthStats::default();
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.min(), None);
+        assert_eq!(d.max(), None);
+    }
+}

@@ -1,0 +1,507 @@
+//! The round engine.
+
+use arsf_attack::model::{AttackMode, AttackStrategy, SlotContext};
+use arsf_attack::{delta, AttackerConfig};
+use arsf_detect::{OverlapDetector, WindowVerdict, WindowedDetector};
+use arsf_fusion::{marzullo, FusionError};
+use arsf_interval::Interval;
+use arsf_schedule::TransmissionOrder;
+use arsf_sensor::SensorSuite;
+use rand::Rng;
+
+use crate::{DetectionMode, PipelineConfig};
+
+/// Everything observable about one communication round.
+#[derive(Debug)]
+pub struct RoundOutcome {
+    /// The ground truth the round was sampled at (simulation only).
+    pub truth: f64,
+    /// The transmission order used.
+    pub order: TransmissionOrder,
+    /// The broadcast intervals as `(sensor, interval)` in slot order
+    /// (sensors silenced by faults are absent).
+    pub transmitted: Vec<(usize, Interval<f64>)>,
+    /// The fusion result; an error certifies that more sensors misbehaved
+    /// than the fault assumption `f` allows.
+    pub fusion: Result<Interval<f64>, FusionError>,
+    /// Midpoint of the fusion interval (the controller's point estimate).
+    pub estimate: Option<f64>,
+    /// Sensors flagged by immediate overlap detection this round.
+    pub flagged: Vec<usize>,
+    /// Sensors condemned by the windowed detector so far (empty unless
+    /// [`DetectionMode::Windowed`]).
+    pub condemned: Vec<usize>,
+}
+
+impl RoundOutcome {
+    /// The fusion width, when fusion succeeded.
+    pub fn width(&self) -> Option<f64> {
+        self.fusion.as_ref().ok().map(|s| s.width())
+    }
+}
+
+/// Builder for [`FusionPipeline`].
+pub struct PipelineBuilder {
+    suite: SensorSuite,
+    config: PipelineConfig,
+    attacker: Option<(AttackerConfig, Box<dyn AttackStrategy>)>,
+}
+
+impl PipelineBuilder {
+    /// Sets the pipeline configuration (defaults to `f = 1`, Ascending,
+    /// immediate detection).
+    #[must_use]
+    pub fn config(mut self, config: PipelineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Installs an attacker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a compromised index is out of range for the suite.
+    #[must_use]
+    pub fn attacker(
+        mut self,
+        config: AttackerConfig,
+        strategy: Box<dyn AttackStrategy>,
+    ) -> Self {
+        assert!(
+            config.compromised().iter().all(|&i| i < self.suite.len()),
+            "compromised sensor index out of range"
+        );
+        self.attacker = Some((config, strategy));
+        self
+    }
+
+    /// Finalises the pipeline.
+    pub fn build(self) -> FusionPipeline {
+        let n = self.suite.len();
+        let windowed = match self.config.detection() {
+            DetectionMode::Windowed { window, tolerance } => {
+                Some(WindowedDetector::new(n, window, tolerance))
+            }
+            _ => None,
+        };
+        FusionPipeline {
+            suite: self.suite,
+            config: self.config,
+            attacker: self.attacker,
+            windowed,
+            round: 0,
+        }
+    }
+}
+
+/// The round engine: sample → schedule → (attack) → fuse → detect.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+pub struct FusionPipeline {
+    suite: SensorSuite,
+    config: PipelineConfig,
+    attacker: Option<(AttackerConfig, Box<dyn AttackStrategy>)>,
+    windowed: Option<WindowedDetector>,
+    round: u64,
+}
+
+impl FusionPipeline {
+    /// Starts building a pipeline around a sensor suite.
+    pub fn builder(suite: SensorSuite) -> PipelineBuilder {
+        PipelineBuilder {
+            suite,
+            config: PipelineConfig::new(1, arsf_schedule::SchedulePolicy::Ascending),
+            attacker: None,
+        }
+    }
+
+    /// The sensor suite.
+    pub fn suite(&self) -> &SensorSuite {
+        &self.suite
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The number of completed rounds.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// Runs one communication round at the given ground truth.
+    ///
+    /// The round unfolds exactly as in the paper: every sensor samples,
+    /// the schedule fixes the slot order, each slot broadcasts either the
+    /// correct reading or — for compromised sensors — whatever the attack
+    /// strategy forges from the frames already on the wire, and finally
+    /// the controller fuses and runs detection.
+    pub fn run_round<R: Rng + ?Sized>(&mut self, truth: f64, rng: &mut R) -> RoundOutcome {
+        self.run_round_at(truth, self.round, rng)
+    }
+
+    /// [`FusionPipeline::run_round`] with an explicit round counter —
+    /// needed when the caller rebuilds pipelines between rounds (e.g. a
+    /// per-round compromised set) but wants rotating schedules to keep
+    /// advancing.
+    pub fn run_round_at<R: Rng + ?Sized>(
+        &mut self,
+        truth: f64,
+        round: u64,
+        rng: &mut R,
+    ) -> RoundOutcome {
+        let widths = self.suite.widths();
+        let order = self.config.schedule().order(&widths, round, rng);
+        self.round = round + 1;
+
+        // Sample every sensor (compromised sensors still produce their
+        // *correct* readings, which the attacker reads before forging).
+        let readings = self.suite.sample_all(truth, rng);
+        let reading_of = |sensor: usize| {
+            readings
+                .iter()
+                .find(|m| m.sensor.index() == sensor)
+                .map(|m| m.interval)
+        };
+
+        // The attacker's Δ across her sensors' correct readings.
+        let (attacker_cfg, attacker_delta) = match &self.attacker {
+            Some((cfg, _)) => {
+                let own: Vec<Interval<f64>> = cfg
+                    .compromised()
+                    .iter()
+                    .filter_map(|&s| reading_of(s))
+                    .collect();
+                (Some(cfg.clone()), delta(&own))
+            }
+            None => (None, None),
+        };
+
+        let n = self.suite.len();
+        let f = self.config.f();
+        let mut transmitted: Vec<(usize, Interval<f64>)> = Vec::with_capacity(n);
+
+        for slot in 0..order.len() {
+            let sensor = order[slot];
+            let Some(correct_reading) = reading_of(sensor) else {
+                continue; // silenced by a fault this round
+            };
+            let is_compromised = attacker_cfg
+                .as_ref()
+                .is_some_and(|cfg| cfg.controls(sensor));
+            let interval = if is_compromised {
+                let cfg = attacker_cfg.as_ref().expect("checked above");
+                let unsent_attacked = order
+                    .as_slice()
+                    .iter()
+                    .skip(slot)
+                    .filter(|&&s| cfg.controls(s))
+                    .count();
+                let future_own_widths: Vec<f64> = order
+                    .as_slice()
+                    .iter()
+                    .skip(slot + 1)
+                    .filter(|&&s| cfg.controls(s))
+                    .map(|&s| widths[s])
+                    .collect();
+                let mode =
+                    AttackMode::for_slot(transmitted.len(), n, f, unsent_attacked);
+                let ctx = SlotContext {
+                    order: &order,
+                    slot,
+                    sensor,
+                    width: widths[sensor],
+                    seen: &transmitted,
+                    delta: attacker_delta.unwrap_or(correct_reading),
+                    own_correct: correct_reading,
+                    mode,
+                    n,
+                    f,
+                    future_own_widths: &future_own_widths,
+                    compromised: cfg.compromised(),
+                    all_widths: &widths,
+                };
+                let strategy = &mut self
+                    .attacker
+                    .as_mut()
+                    .expect("attacker present on compromised slot")
+                    .1;
+                let forged = strategy.forge(&ctx);
+                debug_assert!(
+                    (forged.width() - widths[sensor]).abs() < 1e-9,
+                    "strategies must preserve the public interval width"
+                );
+                forged
+            } else {
+                correct_reading
+            };
+            transmitted.push((sensor, interval));
+        }
+
+        // Fusion and detection.
+        let intervals: Vec<Interval<f64>> = transmitted.iter().map(|(_, iv)| *iv).collect();
+        let fusion = marzullo::fuse(&intervals, f.min(intervals.len().saturating_sub(1)));
+        let estimate = fusion.as_ref().ok().map(|s| s.midpoint());
+
+        let mut flagged = Vec::new();
+        let mut condemned = Vec::new();
+        if let Ok(fused) = &fusion {
+            if self.config.detection() != DetectionMode::Off {
+                let report = OverlapDetector.detect(&intervals, fused);
+                flagged = report
+                    .flagged
+                    .iter()
+                    .map(|&i| transmitted[i].0)
+                    .collect();
+            }
+            if let Some(window) = &mut self.windowed {
+                for (sensor, _) in &transmitted {
+                    let violated = flagged.contains(sensor);
+                    if window.record(*sensor, violated) == WindowVerdict::Condemned {
+                        // recorded; the full list is read below
+                    }
+                }
+                condemned = window.condemned();
+            }
+        }
+
+        RoundOutcome {
+            truth,
+            order,
+            transmitted,
+            fusion,
+            estimate,
+            flagged,
+            condemned,
+        }
+    }
+}
+
+impl core::fmt::Debug for FusionPipeline {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FusionPipeline")
+            .field("sensors", &self.suite.len())
+            .field("f", &self.config.f())
+            .field("schedule", &self.config.schedule().name())
+            .field("attacker", &self.attacker.as_ref().map(|(c, s)| {
+                (c.compromised().to_vec(), s.name().to_string())
+            }))
+            .field("rounds", &self.round)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arsf_attack::strategies::{GreedyExtreme, PhantomOptimal, Side};
+    use arsf_attack::Truthful;
+    use arsf_schedule::SchedulePolicy;
+    use arsf_sensor::{FaultKind, FaultModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2014)
+    }
+
+    fn landshark_pipeline(
+        policy: SchedulePolicy,
+        attacked: &[usize],
+        strategy: Box<dyn AttackStrategy>,
+    ) -> FusionPipeline {
+        FusionPipeline::builder(arsf_sensor::suite::landshark())
+            .config(PipelineConfig::new(1, policy))
+            .attacker(AttackerConfig::new(attacked.iter().copied(), 1), strategy)
+            .build()
+    }
+
+    #[test]
+    fn honest_round_contains_truth_with_tight_fusion() {
+        let mut rng = rng();
+        let mut p = FusionPipeline::builder(arsf_sensor::suite::landshark())
+            .config(PipelineConfig::new(1, SchedulePolicy::Ascending))
+            .build();
+        for _ in 0..50 {
+            let out = p.run_round(10.0, &mut rng);
+            let fused = out.fusion.expect("all correct");
+            assert!(fused.contains(10.0));
+            assert!(out.flagged.is_empty());
+            // f = 1 < ceil(4/3}? no: 1 < ceil(4/3) = 2, so the fusion is
+            // bounded by some correct width (<= 2.0, the camera).
+            assert!(fused.width() <= 2.0 + 1e-12);
+        }
+        assert_eq!(p.rounds(), 50);
+    }
+
+    #[test]
+    fn attacked_round_stays_stealthy_and_contains_truth() {
+        let mut rng = rng();
+        for policy in [SchedulePolicy::Ascending, SchedulePolicy::Descending] {
+            let mut p = landshark_pipeline(policy, &[0], Box::new(PhantomOptimal::new()));
+            for _ in 0..50 {
+                let out = p.run_round(10.0, &mut rng);
+                let fused = out.fusion.expect("fa <= f always fuses");
+                assert!(fused.contains(10.0), "fa <= f keeps truth inside");
+                assert!(
+                    out.flagged.is_empty(),
+                    "phantom-optimal must remain stealthy; flagged {:?}",
+                    out.flagged
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn descending_gives_attacker_more_width_than_ascending() {
+        let mut rng = rng();
+        let mut asc = landshark_pipeline(
+            SchedulePolicy::Ascending,
+            &[0],
+            Box::new(PhantomOptimal::new()),
+        );
+        let mut desc = landshark_pipeline(
+            SchedulePolicy::Descending,
+            &[0],
+            Box::new(PhantomOptimal::new()),
+        );
+        let rounds = 300;
+        let mut asc_total = 0.0;
+        let mut desc_total = 0.0;
+        for _ in 0..rounds {
+            asc_total += asc.run_round(10.0, &mut rng).width().unwrap();
+            desc_total += desc.run_round(10.0, &mut rng).width().unwrap();
+        }
+        assert!(
+            desc_total > asc_total,
+            "descending {desc_total} must exceed ascending {asc_total}"
+        );
+    }
+
+    #[test]
+    fn truthful_attacker_changes_nothing() {
+        let mut rng_a = rng();
+        let mut rng_b = rng();
+        let mut honest = FusionPipeline::builder(arsf_sensor::suite::landshark())
+            .config(PipelineConfig::new(1, SchedulePolicy::Ascending))
+            .build();
+        let mut nominal = landshark_pipeline(
+            SchedulePolicy::Ascending,
+            &[0],
+            Box::new(Truthful),
+        );
+        for _ in 0..20 {
+            let a = honest.run_round(10.0, &mut rng_a);
+            let b = nominal.run_round(10.0, &mut rng_b);
+            assert_eq!(a.fusion, b.fusion);
+        }
+    }
+
+    #[test]
+    fn greedy_attacker_is_flagged_or_stealthy_but_width_preserving() {
+        let mut rng = rng();
+        let mut p = landshark_pipeline(
+            SchedulePolicy::Descending,
+            &[0],
+            Box::new(GreedyExtreme::new(Side::High)),
+        );
+        for _ in 0..50 {
+            let out = p.run_round(10.0, &mut rng);
+            for (sensor, iv) in &out.transmitted {
+                if *sensor == 0 {
+                    assert!((iv.width() - 0.2).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn silent_fault_drops_a_sensor_from_the_round() {
+        let mut rng = rng();
+        let mut suite = arsf_sensor::suite::landshark();
+        suite.sensors_mut()[3] = suite.sensors()[3]
+            .clone()
+            .with_fault(FaultModel::new(FaultKind::Silent, 1.0));
+        let mut p = FusionPipeline::builder(suite)
+            .config(PipelineConfig::new(1, SchedulePolicy::Ascending))
+            .build();
+        let out = p.run_round(10.0, &mut rng);
+        assert_eq!(out.transmitted.len(), 3);
+        assert!(out.fusion.is_ok());
+    }
+
+    #[test]
+    fn biased_fault_is_flagged_by_immediate_detection() {
+        let mut rng = rng();
+        let mut suite = arsf_sensor::suite::landshark();
+        // A camera stuck far away from the truth.
+        suite.sensors_mut()[3] = suite.sensors()[3]
+            .clone()
+            .with_fault(FaultModel::new(FaultKind::Bias { offset: 50.0 }, 1.0));
+        let mut p = FusionPipeline::builder(suite)
+            .config(PipelineConfig::new(1, SchedulePolicy::Ascending))
+            .build();
+        let out = p.run_round(10.0, &mut rng);
+        assert_eq!(out.flagged, vec![3]);
+        // The fusion still contains the truth (one fault, f = 1).
+        assert!(out.fusion.unwrap().contains(10.0));
+    }
+
+    #[test]
+    fn windowed_detection_condemns_persistent_faults() {
+        let mut rng = rng();
+        let mut suite = arsf_sensor::suite::landshark();
+        suite.sensors_mut()[2] = suite.sensors()[2]
+            .clone()
+            .with_fault(FaultModel::new(FaultKind::Bias { offset: 30.0 }, 1.0));
+        let mut p = FusionPipeline::builder(suite)
+            .config(
+                PipelineConfig::new(1, SchedulePolicy::Ascending).with_detection(
+                    DetectionMode::Windowed {
+                        window: 5,
+                        tolerance: 2,
+                    },
+                ),
+            )
+            .build();
+        let mut condemned_at = None;
+        for round in 0..10 {
+            let out = p.run_round(10.0, &mut rng);
+            if out.condemned.contains(&2) {
+                condemned_at = Some(round);
+                break;
+            }
+        }
+        assert_eq!(condemned_at, Some(2), "condemned after tolerance+1 = 3 rounds");
+    }
+
+    #[test]
+    fn detection_off_never_flags() {
+        let mut rng = rng();
+        let mut suite = arsf_sensor::suite::landshark();
+        suite.sensors_mut()[3] = suite.sensors()[3]
+            .clone()
+            .with_fault(FaultModel::new(FaultKind::Bias { offset: 50.0 }, 1.0));
+        let mut p = FusionPipeline::builder(suite)
+            .config(
+                PipelineConfig::new(1, SchedulePolicy::Ascending)
+                    .with_detection(DetectionMode::Off),
+            )
+            .build();
+        let out = p.run_round(10.0, &mut rng);
+        assert!(out.flagged.is_empty());
+    }
+
+    #[test]
+    fn debug_format_is_informative() {
+        let p = landshark_pipeline(
+            SchedulePolicy::Ascending,
+            &[0],
+            Box::new(PhantomOptimal::new()),
+        );
+        let s = format!("{p:?}");
+        assert!(s.contains("phantom-optimal"));
+        assert!(s.contains("ascending"));
+    }
+}

@@ -1,0 +1,443 @@
+//! Executing a fusion round over the `arsf-bus` broadcast substrate.
+//!
+//! [`FusionPipeline`](crate::FusionPipeline) drives rounds directly for
+//! experiment throughput; this module runs the *same* round through real
+//! bus machinery — sensor nodes, an eavesdropping attacker node per
+//! compromised sensor (sharing one brain), and a fusion controller node —
+//! demonstrating that the paper's information model (the attacker sees
+//! exactly the frames broadcast before her slot) is faithfully realised
+//! by a CAN-style broadcast transport.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use arsf_attack::model::{AttackMode, AttackStrategy, SlotContext};
+use arsf_attack::{delta, AttackerConfig};
+use arsf_bus::{
+    BroadcastBus, FixedSensorNode, Frame, FrameId, Node, NodeContext, NodeId, Payload, Ticks,
+};
+use arsf_detect::OverlapDetector;
+use arsf_fusion::{marzullo, FusionError};
+use arsf_interval::Interval;
+use arsf_schedule::TransmissionOrder;
+
+/// The observable outcome of one bus round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusRound {
+    /// Every frame that hit the wire, in order.
+    pub frames: Vec<Frame>,
+    /// Measurement payloads in transmission order.
+    pub transmitted: Vec<(usize, Interval<f64>)>,
+    /// The controller's fusion result.
+    pub fusion: Result<Interval<f64>, FusionError>,
+    /// Sensors the controller flagged (broadcast as alert frames too).
+    pub flagged: Vec<usize>,
+}
+
+/// Runs one fusion round over a freshly-built broadcast bus.
+///
+/// `readings[i]` is sensor `i`'s **correct** reading for this round (the
+/// attacker reads hers before forging); `order` fixes the TDMA slots; the
+/// controller transmits last and broadcasts its fusion interval plus one
+/// alert frame per flagged sensor.
+///
+/// # Panics
+///
+/// Panics if `readings`, `widths` and `order` disagree on the sensor
+/// count, or if a compromised index is out of range.
+///
+/// # Example
+///
+/// ```
+/// use arsf_core::transport::run_bus_round;
+/// use arsf_interval::Interval;
+/// use arsf_schedule::TransmissionOrder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let readings = vec![
+///     Interval::new(9.9, 10.1)?,
+///     Interval::new(9.5, 10.5)?,
+///     Interval::new(9.0, 11.0)?,
+/// ];
+/// let widths = vec![0.2, 1.0, 2.0];
+/// let order = TransmissionOrder::identity(3);
+/// let round = run_bus_round(&readings, &widths, &order, 1, None);
+/// assert!(round.fusion.clone()?.contains(10.0));
+/// assert_eq!(round.transmitted.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_bus_round(
+    readings: &[Interval<f64>],
+    widths: &[f64],
+    order: &TransmissionOrder,
+    f: usize,
+    attacker: Option<(AttackerConfig, Box<dyn AttackStrategy>)>,
+) -> BusRound {
+    let n = readings.len();
+    assert_eq!(widths.len(), n, "one width per sensor");
+    assert_eq!(order.len(), n, "one slot per sensor");
+
+    let mut bus = BroadcastBus::new();
+    let controller_id = NodeId::new(n);
+
+    let brain = attacker.map(|(cfg, strategy)| {
+        assert!(
+            cfg.compromised().iter().all(|&i| i < n),
+            "compromised sensor index out of range"
+        );
+        let own: Vec<Interval<f64>> = cfg
+            .compromised()
+            .iter()
+            .map(|&s| readings[s])
+            .collect();
+        let own_delta = delta(&own).expect("attacker controls at least one sensor");
+        Rc::new(RefCell::new(AttackerBrain {
+            cfg,
+            strategy,
+            seen: Vec::new(),
+            last_tick: Ticks::new(0),
+            delta: own_delta,
+            widths: widths.to_vec(),
+            order: order.clone(),
+            n,
+            f,
+        }))
+    });
+
+    // Sensor nodes: honest ones broadcast their reading; compromised ones
+    // are attacker taps sharing the brain.
+    for sensor in 0..n {
+        let node_id = NodeId::new(sensor);
+        let frame_id = FrameId::new(0x100 + sensor as u32);
+        let compromised = brain
+            .as_ref()
+            .is_some_and(|b| b.borrow().cfg.controls(sensor));
+        if compromised {
+            bus.add_node(Box::new(AttackerSensorNode {
+                id: node_id,
+                sensor,
+                frame_id,
+                own_correct: readings[sensor],
+                brain: Rc::clone(brain.as_ref().expect("checked compromised")),
+            }));
+        } else {
+            let mut node = FixedSensorNode::new(node_id, frame_id, sensor);
+            node.set_reading(readings[sensor]);
+            bus.add_node(Box::new(node));
+        }
+    }
+    bus.add_node(Box::new(ControllerNode {
+        id: controller_id,
+        expected: n,
+        f,
+        collected: Vec::new(),
+        fusion: None,
+        flagged: Vec::new(),
+    }));
+
+    // TDMA: sensor slots in schedule order, controller last.
+    let mut owners: Vec<NodeId> = order.iter().map(|&s| NodeId::new(s)).collect();
+    owners.push(controller_id);
+    let frames = bus.run_slots(&owners);
+
+    let transmitted: Vec<(usize, Interval<f64>)> = frames
+        .iter()
+        .filter_map(|fr| match fr.payload {
+            Payload::Measurement { sensor, interval } => Some((sensor, interval)),
+            _ => None,
+        })
+        .collect();
+
+    let controller = bus
+        .node_mut(controller_id)
+        .expect("controller connected above");
+    let controller = controller
+        .as_any()
+        .downcast_ref::<ControllerNode>()
+        .expect("controller node type");
+    BusRound {
+        fusion: controller
+            .fusion
+            .clone()
+            .unwrap_or(Err(FusionError::EmptyInput)),
+        flagged: controller.flagged.clone(),
+        transmitted,
+        frames,
+    }
+}
+
+struct AttackerBrain {
+    cfg: AttackerConfig,
+    strategy: Box<dyn AttackStrategy>,
+    seen: Vec<(usize, Interval<f64>)>,
+    last_tick: Ticks,
+    delta: Interval<f64>,
+    widths: Vec<f64>,
+    order: TransmissionOrder,
+    n: usize,
+    f: usize,
+}
+
+impl AttackerBrain {
+    /// Records a measurement frame once, even though every attacker tap
+    /// observes it (frames carry strictly increasing ticks).
+    fn observe(&mut self, frame: &Frame) {
+        if frame.tick <= self.last_tick {
+            return;
+        }
+        if let Payload::Measurement { sensor, interval } = frame.payload {
+            self.seen.push((sensor, interval));
+            self.last_tick = frame.tick;
+        }
+    }
+
+    fn forge(&mut self, sensor: usize, own_correct: Interval<f64>) -> Interval<f64> {
+        let slot = self
+            .order
+            .slot_of(sensor)
+            .expect("compromised sensor is scheduled");
+        let unsent_attacked = self
+            .order
+            .as_slice()
+            .iter()
+            .skip(slot)
+            .filter(|&&s| self.cfg.controls(s))
+            .count();
+        let future_own_widths: Vec<f64> = self
+            .order
+            .as_slice()
+            .iter()
+            .skip(slot + 1)
+            .filter(|&&s| self.cfg.controls(s))
+            .map(|&s| self.widths[s])
+            .collect();
+        let mode = AttackMode::for_slot(self.seen.len(), self.n, self.f, unsent_attacked);
+        let ctx = SlotContext {
+            order: &self.order,
+            slot,
+            sensor,
+            width: self.widths[sensor],
+            seen: &self.seen,
+            delta: self.delta,
+            own_correct,
+            mode,
+            n: self.n,
+            f: self.f,
+            future_own_widths: &future_own_widths,
+            compromised: self.cfg.compromised(),
+            all_widths: &self.widths,
+        };
+        self.strategy.forge(&ctx)
+    }
+}
+
+/// One compromised sensor's bus presence: eavesdrops on everything via
+/// the shared brain and forges in its own slot.
+struct AttackerSensorNode {
+    id: NodeId,
+    sensor: usize,
+    frame_id: FrameId,
+    own_correct: Interval<f64>,
+    brain: Rc<RefCell<AttackerBrain>>,
+}
+
+impl Node for AttackerSensorNode {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn on_frame(&mut self, frame: &Frame, _ctx: &mut NodeContext) {
+        self.brain.borrow_mut().observe(frame);
+    }
+
+    fn on_slot(&mut self, ctx: &mut NodeContext) {
+        let forged = self
+            .brain
+            .borrow_mut()
+            .forge(self.sensor, self.own_correct);
+        ctx.transmit(
+            self.frame_id,
+            Payload::Measurement {
+                sensor: self.sensor,
+                interval: forged,
+            },
+        );
+    }
+
+    fn as_any(&self) -> &dyn core::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+        self
+    }
+}
+
+/// The fusion controller: collects measurement frames, fuses in its slot,
+/// broadcasts the fusion interval and alert frames for flagged sensors.
+struct ControllerNode {
+    id: NodeId,
+    expected: usize,
+    f: usize,
+    collected: Vec<(usize, Interval<f64>)>,
+    fusion: Option<Result<Interval<f64>, FusionError>>,
+    flagged: Vec<usize>,
+}
+
+impl Node for ControllerNode {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn on_frame(&mut self, frame: &Frame, _ctx: &mut NodeContext) {
+        if let Payload::Measurement { sensor, interval } = frame.payload {
+            self.collected.push((sensor, interval));
+        }
+    }
+
+    fn on_slot(&mut self, ctx: &mut NodeContext) {
+        let intervals: Vec<Interval<f64>> =
+            self.collected.iter().map(|(_, iv)| *iv).collect();
+        debug_assert_eq!(intervals.len(), self.expected, "missing measurements");
+        let fusion = marzullo::fuse(&intervals, self.f);
+        if let Ok(fused) = &fusion {
+            ctx.transmit(FrameId::new(0x050), Payload::Fusion { interval: *fused });
+            let report = OverlapDetector.detect(&intervals, fused);
+            self.flagged = report
+                .flagged
+                .iter()
+                .map(|&i| self.collected[i].0)
+                .collect();
+            for &sensor in &self.flagged {
+                ctx.transmit(FrameId::new(0x040), Payload::Alert { sensor });
+            }
+        }
+        self.fusion = Some(fusion);
+    }
+
+    fn as_any(&self) -> &dyn core::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn core::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arsf_attack::strategies::PhantomOptimal;
+    use arsf_attack::Truthful;
+
+    fn iv(lo: f64, hi: f64) -> Interval<f64> {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    fn readings() -> Vec<Interval<f64>> {
+        vec![iv(9.9, 10.1), iv(9.6, 10.6), iv(9.2, 11.2)]
+    }
+
+    #[test]
+    fn honest_bus_round_matches_direct_fusion() {
+        let r = readings();
+        let widths = vec![0.2, 1.0, 2.0];
+        let order = TransmissionOrder::identity(3);
+        let round = run_bus_round(&r, &widths, &order, 1, None);
+        let direct = marzullo::fuse(&r, 1);
+        assert_eq!(round.fusion, direct);
+        assert!(round.flagged.is_empty());
+        // n measurement frames + 1 fusion frame on the wire.
+        assert_eq!(round.frames.len(), 4);
+    }
+
+    #[test]
+    fn transmission_respects_schedule_order() {
+        let r = readings();
+        let widths = vec![0.2, 1.0, 2.0];
+        let order = TransmissionOrder::new(vec![2, 0, 1]).unwrap();
+        let round = run_bus_round(&r, &widths, &order, 1, None);
+        let sensors: Vec<usize> = round.transmitted.iter().map(|(s, _)| *s).collect();
+        assert_eq!(sensors, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn truthful_attacker_is_transparent() {
+        let r = readings();
+        let widths = vec![0.2, 1.0, 2.0];
+        let order = TransmissionOrder::identity(3);
+        let attacked = Some((AttackerConfig::new([0], 1), Box::new(Truthful) as _));
+        let round = run_bus_round(&r, &widths, &order, 1, attacked);
+        assert_eq!(round.fusion, marzullo::fuse(&r, 1));
+    }
+
+    #[test]
+    fn eavesdropping_attacker_stays_stealthy_and_widens_fusion() {
+        let r = readings();
+        let widths = vec![0.2, 1.0, 2.0];
+        // Descending: the attacked precise sensor transmits last.
+        let order = TransmissionOrder::new(vec![2, 1, 0]).unwrap();
+        let attacked = Some((
+            AttackerConfig::new([0], 1),
+            Box::new(PhantomOptimal::new()) as _,
+        ));
+        let round = run_bus_round(&r, &widths, &order, 1, attacked);
+        let attacked_width = round.fusion.clone().unwrap().width();
+        let honest_width = marzullo::fuse(&r, 1).unwrap().width();
+        assert!(round.flagged.is_empty(), "optimal attacker is never flagged");
+        assert!(
+            attacked_width >= honest_width,
+            "attack {attacked_width} must not lose to honesty {honest_width}"
+        );
+    }
+
+    #[test]
+    fn blatant_forgery_triggers_alert_frames() {
+        // A custom strategy that ignores stealth entirely.
+        struct Blatant;
+        impl AttackStrategy for Blatant {
+            fn forge(&mut self, ctx: &SlotContext<'_>) -> Interval<f64> {
+                Interval::centered(ctx.own_correct.midpoint() + 100.0, ctx.width * 0.5)
+                    .expect("finite")
+            }
+            fn name(&self) -> &str {
+                "blatant"
+            }
+        }
+        let r = readings();
+        let widths = vec![0.2, 1.0, 2.0];
+        let order = TransmissionOrder::identity(3);
+        let attacked = Some((AttackerConfig::new([0], 1), Box::new(Blatant) as _));
+        let round = run_bus_round(&r, &widths, &order, 1, attacked);
+        assert_eq!(round.flagged, vec![0]);
+        let alerts = round
+            .frames
+            .iter()
+            .filter(|f| matches!(f.payload, Payload::Alert { .. }))
+            .count();
+        assert_eq!(alerts, 1);
+    }
+
+    #[test]
+    fn multi_sensor_attacker_shares_one_brain() {
+        // n = 5, f = 2, attacker controls sensors 0 and 1.
+        let r = vec![
+            iv(9.9, 10.1),
+            iv(9.8, 10.2),
+            iv(9.5, 10.5),
+            iv(9.0, 11.0),
+            iv(8.5, 11.5),
+        ];
+        let widths = vec![0.2, 0.4, 1.0, 2.0, 3.0];
+        let order = TransmissionOrder::new(vec![4, 3, 2, 0, 1]).unwrap();
+        let attacked = Some((
+            AttackerConfig::new([0, 1], 2),
+            Box::new(PhantomOptimal::new()) as _,
+        ));
+        let round = run_bus_round(&r, &widths, &order, 2, attacked);
+        assert!(round.fusion.is_ok());
+        assert!(round.flagged.is_empty());
+        assert_eq!(round.transmitted.len(), 5);
+    }
+}

@@ -1,0 +1,42 @@
+//! Attack and fault detection for interval sensor fusion.
+//!
+//! The paper's detection mechanism is geometric: after fusing the `n`
+//! transmitted intervals, **any interval disjoint from the fusion interval
+//! must be compromised** — a correct interval contains the true value, the
+//! fusion interval contains every candidate true value, so the two must
+//! overlap. A stealthy attacker therefore constrains her forged intervals
+//! to intersect the fusion interval ([`overlap`]).
+//!
+//! Footnote 1 of the paper sketches the planned refinement: tolerate
+//! *transient* faults by flagging a sensor only when it violates the
+//! overlap check more than `k` times in a window of `w` rounds. That
+//! temporal detector is implemented in [`window`].
+//!
+//! # Example
+//!
+//! ```
+//! use arsf_detect::overlap::OverlapDetector;
+//! use arsf_fusion::marzullo;
+//! use arsf_interval::Interval;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let intervals = [
+//!     Interval::new(9.0, 11.0)?,
+//!     Interval::new(9.5, 10.5)?,
+//!     Interval::new(30.0, 31.0)?, // blatantly forged
+//! ];
+//! let fused = marzullo::fuse(&intervals, 1)?;
+//! let report = OverlapDetector.detect(&intervals, &fused);
+//! assert_eq!(report.flagged, vec![2]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod overlap;
+pub mod window;
+
+pub use overlap::{DetectionReport, OverlapDetector};
+pub use window::{WindowVerdict, WindowedDetector};

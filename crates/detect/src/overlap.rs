@@ -1,0 +1,116 @@
+//! The fusion-overlap detector.
+
+use arsf_interval::ops::disjoint_indices;
+use arsf_interval::{Interval, Scalar};
+
+/// The outcome of one detection pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectionReport {
+    /// Indices (into the checked slice) of intervals disjoint from the
+    /// fusion interval — provably compromised or faulty.
+    pub flagged: Vec<usize>,
+    /// Number of intervals checked.
+    pub checked: usize,
+}
+
+impl DetectionReport {
+    /// Whether nothing was flagged.
+    pub fn all_clear(&self) -> bool {
+        self.flagged.is_empty()
+    }
+}
+
+/// The paper's detection procedure: discard every interval that does not
+/// intersect the fusion interval.
+///
+/// Soundness: when at most `f` sensors are compromised and the fusion used
+/// `f`, a correct interval always intersects the fusion interval (both
+/// contain the true value), so the detector never flags a correct sensor.
+/// Completeness is *not* guaranteed — that asymmetry is precisely what the
+/// paper's stealthy attacker exploits.
+///
+/// # Example
+///
+/// ```
+/// use arsf_detect::OverlapDetector;
+/// use arsf_interval::Interval;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fused = Interval::new(0.0, 1.0)?;
+/// let intervals = [Interval::new(0.5, 2.0)?, Interval::new(4.0, 5.0)?];
+/// let report = OverlapDetector.detect(&intervals, &fused);
+/// assert_eq!(report.flagged, vec![1]);
+/// assert!(!report.all_clear());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct OverlapDetector;
+
+impl OverlapDetector {
+    /// Flags every interval disjoint from `fusion`.
+    pub fn detect<T: Scalar>(
+        &self,
+        intervals: &[Interval<T>],
+        fusion: &Interval<T>,
+    ) -> DetectionReport {
+        DetectionReport {
+            flagged: disjoint_indices(intervals, fusion),
+            checked: intervals.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arsf_fusion::marzullo;
+
+    fn iv(lo: f64, hi: f64) -> Interval<f64> {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn correct_sensors_are_never_flagged() {
+        // All intervals contain the truth (10): none can be flagged.
+        let intervals = [iv(9.0, 11.0), iv(9.5, 10.5), iv(8.0, 12.0)];
+        let fused = marzullo::fuse(&intervals, 1).unwrap();
+        let report = OverlapDetector.detect(&intervals, &fused);
+        assert!(report.all_clear());
+        assert_eq!(report.checked, 3);
+    }
+
+    #[test]
+    fn blatant_forgery_is_flagged() {
+        let intervals = [iv(9.0, 11.0), iv(9.5, 10.5), iv(30.0, 31.0)];
+        let fused = marzullo::fuse(&intervals, 1).unwrap();
+        let report = OverlapDetector.detect(&intervals, &fused);
+        assert_eq!(report.flagged, vec![2]);
+    }
+
+    #[test]
+    fn stealthy_forgery_evades_detection() {
+        // The forged interval grazes the fusion interval: undetectable.
+        let correct = [iv(9.0, 11.0), iv(9.5, 10.5)];
+        let forged = iv(10.5, 12.5); // touches 10.5
+        let all = [correct[0], correct[1], forged];
+        let fused = marzullo::fuse(&all, 1).unwrap();
+        let report = OverlapDetector.detect(&all, &fused);
+        assert!(report.all_clear(), "touching intervals overlap");
+    }
+
+    #[test]
+    fn empty_input_is_all_clear() {
+        let report = OverlapDetector.detect::<f64>(&[], &iv(0.0, 1.0));
+        assert!(report.all_clear());
+        assert_eq!(report.checked, 0);
+    }
+
+    #[test]
+    fn multiple_flags_in_order() {
+        let fused = iv(0.0, 1.0);
+        let intervals = [iv(5.0, 6.0), iv(0.5, 0.6), iv(-3.0, -2.0)];
+        let report = OverlapDetector.detect(&intervals, &fused);
+        assert_eq!(report.flagged, vec![0, 2]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Sliding-window temporal fault detection.
+//!
+//! Footnote 1 of the paper: "A generalization of this work will include a
+//! fault model over time for each sensor (e.g., a sensor is compromised
+//! only if it is faulty more than `f` out of `w` measurements). Thus, a
+//! sensor may have a temporary fault without being discarded as
+//! compromised." This module implements that generalisation: each sensor
+//! accumulates per-round overlap-check verdicts in a ring buffer of the
+//! last `w` rounds and is only *condemned* when violations exceed the
+//! threshold.
+
+use std::collections::VecDeque;
+
+/// The standing of one sensor after recording a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WindowVerdict {
+    /// No violation in the current window beyond the tolerance.
+    Healthy,
+    /// Violations present but within tolerance (a transient fault).
+    Suspect,
+    /// Violations exceeded the tolerance within the window: the sensor is
+    /// declared compromised.
+    Condemned,
+}
+
+/// Per-sensor sliding-window violation counter.
+///
+/// A sensor is [`WindowVerdict::Condemned`] when strictly more than
+/// `tolerance` of its last `window` rounds violated the overlap check.
+/// Once condemned, a sensor stays condemned (the paper's system discards
+/// it) until [`WindowedDetector::reset`].
+///
+/// # Example
+///
+/// ```
+/// use arsf_detect::{WindowVerdict, WindowedDetector};
+///
+/// // Tolerate 1 faulty round out of any 4 consecutive.
+/// let mut det = WindowedDetector::new(2, 4, 1);
+/// assert_eq!(det.record(0, true), WindowVerdict::Suspect);   // 1 of 4: ok
+/// assert_eq!(det.record(0, false), WindowVerdict::Suspect);
+/// assert_eq!(det.record(0, true), WindowVerdict::Condemned); // 2 of 4: out
+/// assert_eq!(det.record(1, false), WindowVerdict::Healthy);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedDetector {
+    window: usize,
+    tolerance: usize,
+    history: Vec<VecDeque<bool>>,
+    condemned: Vec<bool>,
+}
+
+impl WindowedDetector {
+    /// Creates a detector for `n` sensors with the given window length and
+    /// violation tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` — an empty window can never observe
+    /// anything.
+    pub fn new(n: usize, window: usize, tolerance: usize) -> Self {
+        assert!(window > 0, "window length must be positive");
+        Self {
+            window,
+            tolerance,
+            history: vec![VecDeque::with_capacity(window); n],
+            condemned: vec![false; n],
+        }
+    }
+
+    /// The window length `w`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The tolerated number of violations per window.
+    pub fn tolerance(&self) -> usize {
+        self.tolerance
+    }
+
+    /// The number of tracked sensors.
+    pub fn sensor_count(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Records one round for `sensor` (`violated` = failed the overlap
+    /// check) and returns its current standing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sensor` is out of range.
+    pub fn record(&mut self, sensor: usize, violated: bool) -> WindowVerdict {
+        let hist = &mut self.history[sensor];
+        if hist.len() == self.window {
+            hist.pop_front();
+        }
+        hist.push_back(violated);
+        let violations = hist.iter().filter(|&&v| v).count();
+        if violations > self.tolerance {
+            self.condemned[sensor] = true;
+        }
+        self.verdict(sensor)
+    }
+
+    /// The current standing of `sensor` without recording anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sensor` is out of range.
+    pub fn verdict(&self, sensor: usize) -> WindowVerdict {
+        if self.condemned[sensor] {
+            return WindowVerdict::Condemned;
+        }
+        let violations = self.history[sensor].iter().filter(|&&v| v).count();
+        if violations == 0 {
+            WindowVerdict::Healthy
+        } else {
+            WindowVerdict::Suspect
+        }
+    }
+
+    /// Indices of all condemned sensors.
+    pub fn condemned(&self) -> Vec<usize> {
+        self.condemned
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Clears all history and condemnations (e.g. after replacing a
+    /// sensor).
+    pub fn reset(&mut self) {
+        for h in &mut self.history {
+            h.clear();
+        }
+        self.condemned.fill(false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_fault_is_tolerated() {
+        let mut det = WindowedDetector::new(1, 5, 2);
+        // Two violations inside the window: suspect, not condemned.
+        assert_eq!(det.record(0, true), WindowVerdict::Suspect);
+        assert_eq!(det.record(0, false), WindowVerdict::Suspect);
+        assert_eq!(det.record(0, true), WindowVerdict::Suspect);
+        assert_eq!(det.record(0, false), WindowVerdict::Suspect);
+        assert_eq!(det.record(0, false), WindowVerdict::Suspect);
+        // The first violation (round 1) slides out of the 5-round window.
+        assert_eq!(det.record(0, false), WindowVerdict::Suspect);
+        // Round 3's violation is still in the window of rounds 3-7.
+        assert_eq!(det.record(0, false), WindowVerdict::Suspect);
+        // Window is rounds 4-8: all clear.
+        assert_eq!(det.record(0, false), WindowVerdict::Healthy);
+    }
+
+    #[test]
+    fn persistent_fault_is_condemned() {
+        let mut det = WindowedDetector::new(1, 4, 1);
+        assert_eq!(det.record(0, true), WindowVerdict::Suspect);
+        assert_eq!(det.record(0, true), WindowVerdict::Condemned);
+    }
+
+    #[test]
+    fn condemnation_is_sticky() {
+        let mut det = WindowedDetector::new(1, 3, 0);
+        assert_eq!(det.record(0, true), WindowVerdict::Condemned);
+        for _ in 0..10 {
+            assert_eq!(det.record(0, false), WindowVerdict::Condemned);
+        }
+        assert_eq!(det.condemned(), vec![0]);
+    }
+
+    #[test]
+    fn sensors_are_independent() {
+        let mut det = WindowedDetector::new(3, 2, 0);
+        det.record(1, true);
+        assert_eq!(det.verdict(0), WindowVerdict::Healthy);
+        assert_eq!(det.verdict(1), WindowVerdict::Condemned);
+        assert_eq!(det.verdict(2), WindowVerdict::Healthy);
+        assert_eq!(det.condemned(), vec![1]);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut det = WindowedDetector::new(2, 2, 0);
+        det.record(0, true);
+        det.record(1, true);
+        assert_eq!(det.condemned().len(), 2);
+        det.reset();
+        assert!(det.condemned().is_empty());
+        assert_eq!(det.verdict(0), WindowVerdict::Healthy);
+    }
+
+    #[test]
+    fn zero_tolerance_condemns_on_first_violation() {
+        let mut det = WindowedDetector::new(1, 10, 0);
+        assert_eq!(det.record(0, false), WindowVerdict::Healthy);
+        assert_eq!(det.record(0, true), WindowVerdict::Condemned);
+    }
+
+    #[test]
+    #[should_panic(expected = "window length must be positive")]
+    fn zero_window_panics() {
+        let _ = WindowedDetector::new(1, 0, 0);
+    }
+
+    #[test]
+    fn accessors() {
+        let det = WindowedDetector::new(4, 6, 2);
+        assert_eq!(det.window(), 6);
+        assert_eq!(det.tolerance(), 2);
+        assert_eq!(det.sensor_count(), 4);
+    }
+}

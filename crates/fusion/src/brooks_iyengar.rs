@@ -1,0 +1,224 @@
+//! The Brooks–Iyengar hybrid fusion algorithm (baseline).
+//!
+//! Brooks & Iyengar's "robust distributed computing and sensing algorithm"
+//! (IEEE *Computer*, 1996) is the precision-improving relaxation of
+//! Marzullo's algorithm cited by the paper as related work. It computes the
+//! same `≥ n − f` coverage regions but additionally returns a *weighted
+//! point estimate*: the mean of the regions' midpoints weighted by how many
+//! sensors support each region.
+//!
+//! We implement it as a baseline fuser so the benchmark harness can compare
+//! attack impact on Marzullo fusion, Brooks–Iyengar fusion and naive
+//! probabilistic averaging.
+
+use arsf_interval::coverage::CoverageMap;
+use arsf_interval::{Interval, Scalar};
+
+use crate::FusionError;
+
+/// The result of running the Brooks–Iyengar algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrooksIyengarOutput<T> {
+    /// The fused interval: the span from the first to the last region with
+    /// sufficient support (identical to Marzullo's fusion interval).
+    pub interval: Interval<T>,
+    /// The weighted point estimate (always inside `interval`).
+    pub estimate: f64,
+    /// The maximal constant-coverage regions with support `≥ n − f` that
+    /// contributed to the estimate, with their support counts.
+    pub regions: Vec<(Interval<T>, usize)>,
+}
+
+/// Runs the Brooks–Iyengar algorithm on `intervals` assuming at most `f`
+/// faulty sensors.
+///
+/// # Errors
+///
+/// Same contract as [`crate::marzullo::fuse`]: empty input, `f ≥ n`, or no
+/// point reaching the required coverage.
+///
+/// # Example
+///
+/// ```
+/// use arsf_fusion::brooks_iyengar::fuse;
+/// use arsf_interval::Interval;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let s = [
+///     Interval::new(2.7, 6.7)?,
+///     Interval::new(0.0, 3.2)?,
+///     Interval::new(1.5, 4.5)?,
+/// ];
+/// let out = fuse(&s, 1)?;
+/// assert!(out.interval.contains(out.estimate));
+/// # Ok(())
+/// # }
+/// ```
+pub fn fuse<T: Scalar>(
+    intervals: &[Interval<T>],
+    f: usize,
+) -> Result<BrooksIyengarOutput<T>, FusionError> {
+    let n = intervals.len();
+    if n == 0 {
+        return Err(FusionError::EmptyInput);
+    }
+    if f >= n {
+        return Err(FusionError::FaultCountTooLarge { f, n });
+    }
+    let required = n - f;
+
+    let map = CoverageMap::build(intervals);
+    let breakpoints = map.breakpoints();
+
+    // Enumerate elementary pieces (breakpoints and the open segments
+    // between them) with coverage >= required, then merge consecutive
+    // pieces of equal support into maximal constant-coverage regions.
+    let mut regions: Vec<(Interval<T>, usize)> = Vec::new();
+    let push_piece = |piece: Interval<T>, support: usize, regions: &mut Vec<(Interval<T>, usize)>| {
+        if let Some((last, last_support)) = regions.last_mut() {
+            if *last_support == support && last.hi() == piece.lo() {
+                *last = Interval::new(last.lo(), piece.hi())
+                    .expect("merged regions keep endpoint order");
+                return;
+            }
+        }
+        regions.push((piece, support));
+    };
+
+    let point_cov = map.point_coverages();
+    let seg_cov = map.segment_coverages();
+    for (i, &p) in breakpoints.iter().enumerate() {
+        let at_point = point_cov[i];
+        if at_point >= required {
+            push_piece(
+                Interval::new(p, p).expect("degenerate interval"),
+                at_point,
+                &mut regions,
+            );
+        }
+        if i + 1 < breakpoints.len() && seg_cov[i] >= required {
+            let q = breakpoints[i + 1];
+            push_piece(
+                Interval::new(p, q).expect("breakpoints are sorted"),
+                seg_cov[i],
+                &mut regions,
+            );
+        }
+    }
+
+    if regions.is_empty() {
+        return Err(FusionError::NoAgreement { required });
+    }
+
+    // The fused interval spans every qualifying point, degenerate regions
+    // included, so it always equals Marzullo's fusion interval.
+    let lo = regions[0].0.lo();
+    let hi = regions[regions.len() - 1].0.hi();
+    let interval = Interval::new(lo, hi).expect("regions are sorted");
+
+    // The weighted point estimate uses positive-measure regions when any
+    // exist (a zero-width region sandwiched inside wider agreement carries
+    // no extra information); an all-degenerate profile falls back to the
+    // support-weighted mean of the points themselves.
+    let mut weighted: Vec<(Interval<T>, usize)> = regions
+        .iter()
+        .copied()
+        .filter(|(r, _)| r.width() > T::ZERO)
+        .collect();
+    if weighted.is_empty() {
+        weighted = regions.clone();
+    }
+    let mut weight_sum = 0.0;
+    let mut weighted_mid = 0.0;
+    for (r, support) in &weighted {
+        let w = *support as f64;
+        weight_sum += w;
+        weighted_mid += w * r.midpoint().to_f64();
+    }
+    let estimate = weighted_mid / weight_sum;
+
+    Ok(BrooksIyengarOutput {
+        interval,
+        estimate,
+        regions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::marzullo;
+
+    fn iv(lo: f64, hi: f64) -> Interval<f64> {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn interval_matches_marzullo() {
+        let cases: Vec<Vec<Interval<f64>>> = vec![
+            vec![iv(0.0, 4.0), iv(1.0, 5.0), iv(3.0, 8.0)],
+            vec![iv(0.0, 6.0), iv(1.0, 7.0), iv(4.0, 8.0), iv(5.0, 10.0)],
+            vec![iv(0.0, 2.0), iv(1.0, 2.0), iv(4.0, 6.0), iv(5.0, 6.0)],
+        ];
+        for s in &cases {
+            for f in 0..s.len().div_ceil(2) {
+                let bi = fuse(s, f);
+                let mz = marzullo::fuse(s, f);
+                match (bi, mz) {
+                    (Ok(bi), Ok(mz)) => assert_eq!(bi.interval, mz, "case {s:?} f={f}"),
+                    (Err(a), Err(b)) => assert_eq!(a, b),
+                    (a, b) => panic!("mismatch {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_lies_within_interval() {
+        let s = [iv(2.7, 6.7), iv(0.0, 3.2), iv(1.5, 4.5)];
+        let out = fuse(&s, 1).unwrap();
+        assert!(out.interval.contains(out.estimate));
+    }
+
+    #[test]
+    fn estimate_weighs_higher_support_regions_more() {
+        // Two regions with >= 2 coverage: [1,2] supported by 3 sensors
+        // and [5,6] supported by 2; the estimate must lean towards [1,2].
+        let s = [iv(0.0, 2.0), iv(1.0, 2.0), iv(1.0, 6.0), iv(5.0, 7.0)];
+        let out = fuse(&s, 2).unwrap();
+        let naive_mid = out.interval.midpoint();
+        assert!(out.estimate < naive_mid);
+    }
+
+    #[test]
+    fn classic_paper_example_structure() {
+        // Four sensors, one fault: overlapping chain. The regions must be
+        // sorted, disjoint-or-touching, and each supported by >= 3 sensors.
+        let s = [iv(0.0, 4.0), iv(1.0, 5.0), iv(2.0, 6.0), iv(3.0, 7.0)];
+        let out = fuse(&s, 1).unwrap();
+        for (r, support) in &out.regions {
+            assert!(*support >= 3, "region {r} support {support}");
+        }
+        for w in out.regions.windows(2) {
+            assert!(w[0].0.hi() <= w[1].0.lo());
+        }
+    }
+
+    #[test]
+    fn single_point_agreement() {
+        let s = [iv(0.0, 1.0), iv(1.0, 2.0)];
+        let out = fuse(&s, 0).unwrap();
+        assert_eq!(out.interval, iv(1.0, 1.0));
+        assert_eq!(out.estimate, 1.0);
+    }
+
+    #[test]
+    fn errors_match_contract() {
+        assert_eq!(fuse::<f64>(&[], 0).unwrap_err(), FusionError::EmptyInput);
+        let s = [iv(0.0, 1.0), iv(3.0, 4.0)];
+        assert_eq!(
+            fuse(&s, 0).unwrap_err(),
+            FusionError::NoAgreement { required: 2 }
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! A uniform, object-safe interface over every interval fuser.
+//!
+//! The benchmark harness and the simulation pipeline need to swap fusion
+//! algorithms behind one interface (e.g. comparing attack impact on
+//! Marzullo vs Brooks–Iyengar vs plain intersection). [`Fuser`] is that
+//! interface; it is object-safe so heterogeneous fusers can live in a
+//! `Vec<Box<dyn Fuser<f64>>>`.
+
+use arsf_interval::ops::{hull_all, intersection_all};
+use arsf_interval::{Interval, Scalar};
+
+use crate::{brooks_iyengar, marzullo, FusionError};
+
+/// An interval-fusion algorithm: `n` sensor intervals in, one fused
+/// interval out.
+///
+/// # Example
+///
+/// ```
+/// use arsf_fusion::{Fuser, HullFuser, MarzulloFuser};
+/// use arsf_interval::Interval;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let fusers: Vec<Box<dyn Fuser<f64>>> =
+///     vec![Box::new(MarzulloFuser::new(1)), Box::new(HullFuser)];
+/// let s = [
+///     Interval::new(0.0, 2.0)?,
+///     Interval::new(1.0, 3.0)?,
+///     Interval::new(1.5, 2.5)?,
+/// ];
+/// for fuser in &fusers {
+///     let fused = fuser.fuse(&s)?;
+///     assert!(fused.width() <= 3.0);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub trait Fuser<T: Scalar> {
+    /// Fuses the given intervals into one.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return a [`FusionError`] when the input is empty or
+    /// when their fault/agreement assumptions are violated.
+    fn fuse(&self, intervals: &[Interval<T>]) -> Result<Interval<T>, FusionError>;
+
+    /// A short human-readable name for reports and benchmark labels.
+    fn name(&self) -> &str;
+}
+
+/// Marzullo's algorithm with a fixed fault assumption `f`
+/// (see [`marzullo::fuse`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MarzulloFuser {
+    f: usize,
+}
+
+impl MarzulloFuser {
+    /// Creates a Marzullo fuser assuming at most `f` faulty sensors.
+    pub fn new(f: usize) -> Self {
+        Self { f }
+    }
+
+    /// The fault assumption.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+}
+
+impl<T: Scalar> Fuser<T> for MarzulloFuser {
+    fn fuse(&self, intervals: &[Interval<T>]) -> Result<Interval<T>, FusionError> {
+        marzullo::fuse(intervals, self.f)
+    }
+
+    fn name(&self) -> &str {
+        "marzullo"
+    }
+}
+
+/// Brooks–Iyengar fusion with a fixed fault assumption `f`; exposes only
+/// the fused interval through the [`Fuser`] interface
+/// (see [`brooks_iyengar::fuse`] for the point estimate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BrooksIyengarFuser {
+    f: usize,
+}
+
+impl BrooksIyengarFuser {
+    /// Creates a Brooks–Iyengar fuser assuming at most `f` faulty sensors.
+    pub fn new(f: usize) -> Self {
+        Self { f }
+    }
+
+    /// The fault assumption.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+}
+
+impl<T: Scalar> Fuser<T> for BrooksIyengarFuser {
+    fn fuse(&self, intervals: &[Interval<T>]) -> Result<Interval<T>, FusionError> {
+        brooks_iyengar::fuse(intervals, self.f).map(|out| out.interval)
+    }
+
+    fn name(&self) -> &str {
+        "brooks-iyengar"
+    }
+}
+
+/// The common intersection (Marzullo with `f = 0`): precise but brittle —
+/// a single faulty sensor empties it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct IntersectionFuser;
+
+impl<T: Scalar> Fuser<T> for IntersectionFuser {
+    fn fuse(&self, intervals: &[Interval<T>]) -> Result<Interval<T>, FusionError> {
+        if intervals.is_empty() {
+            return Err(FusionError::EmptyInput);
+        }
+        intersection_all(intervals).ok_or(FusionError::NoAgreement {
+            required: intervals.len(),
+        })
+    }
+
+    fn name(&self) -> &str {
+        "intersection"
+    }
+}
+
+/// The convex hull (Marzullo with `f = n − 1`): never wrong, never precise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct HullFuser;
+
+impl<T: Scalar> Fuser<T> for HullFuser {
+    fn fuse(&self, intervals: &[Interval<T>]) -> Result<Interval<T>, FusionError> {
+        hull_all(intervals).ok_or(FusionError::EmptyInput)
+    }
+
+    fn name(&self) -> &str {
+        "hull"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> Interval<f64> {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    fn sample() -> Vec<Interval<f64>> {
+        vec![iv(0.0, 2.0), iv(1.0, 3.0), iv(1.5, 2.5)]
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let fusers: Vec<Box<dyn Fuser<f64>>> = vec![
+            Box::new(MarzulloFuser::new(1)),
+            Box::new(BrooksIyengarFuser::new(1)),
+            Box::new(IntersectionFuser),
+            Box::new(HullFuser),
+        ];
+        let s = sample();
+        for fuser in &fusers {
+            let fused = fuser.fuse(&s).unwrap();
+            assert!(fused.width() >= 0.0, "{} produced {fused}", fuser.name());
+        }
+    }
+
+    #[test]
+    fn fusers_nest_as_expected() {
+        // intersection ⊆ marzullo(f) ⊆ hull for any f.
+        let s = sample();
+        let inter = Fuser::<f64>::fuse(&IntersectionFuser, &s).unwrap();
+        let marz = Fuser::<f64>::fuse(&MarzulloFuser::new(1), &s).unwrap();
+        let hull = Fuser::<f64>::fuse(&HullFuser, &s).unwrap();
+        assert!(marz.contains_interval(&inter));
+        assert!(hull.contains_interval(&marz));
+    }
+
+    #[test]
+    fn intersection_fuser_errors_on_disagreement() {
+        let s = [iv(0.0, 1.0), iv(2.0, 3.0)];
+        let err = Fuser::<f64>::fuse(&IntersectionFuser, &s).unwrap_err();
+        assert_eq!(err, FusionError::NoAgreement { required: 2 });
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let marzullo = MarzulloFuser::new(0);
+        let bi = BrooksIyengarFuser::new(0);
+        let names = [
+            Fuser::<f64>::name(&marzullo),
+            Fuser::<f64>::name(&bi),
+            Fuser::<f64>::name(&IntersectionFuser),
+            Fuser::<f64>::name(&HullFuser),
+        ];
+        let mut unique = names.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    fn empty_input_errors_everywhere() {
+        let empty: [Interval<f64>; 0] = [];
+        assert!(Fuser::<f64>::fuse(&MarzulloFuser::new(0), &empty).is_err());
+        assert!(Fuser::<f64>::fuse(&BrooksIyengarFuser::new(0), &empty).is_err());
+        assert!(Fuser::<f64>::fuse(&IntersectionFuser, &empty).is_err());
+        assert!(Fuser::<f64>::fuse(&HullFuser, &empty).is_err());
+    }
+
+    #[test]
+    fn brooks_iyengar_interval_equals_marzullo() {
+        let s = sample();
+        assert_eq!(
+            Fuser::<f64>::fuse(&BrooksIyengarFuser::new(1), &s).unwrap(),
+            Fuser::<f64>::fuse(&MarzulloFuser::new(1), &s).unwrap()
+        );
+    }
+}

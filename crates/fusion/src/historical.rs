@@ -1,0 +1,287 @@
+//! Historical (dynamics-aware) interval fusion.
+//!
+//! The DATE'14 paper fuses each round independently. Its authors' own
+//! follow-up line of work observes that a *bounded-dynamics* model makes
+//! past measurements useful: if the measured variable can change by at
+//! most `max_rate` per second, last round's fused interval — inflated by
+//! `max_rate · dt` — still contains the true value and can be
+//! intersected with the current fusion interval. The result is never
+//! wider than either source and blunts exactly the attack this
+//! repository studies: a forged extension of today's fusion interval is
+//! clipped by yesterday's evidence.
+//!
+//! The refinement is sound only while the dynamics assumption holds and
+//! at most `f` sensors misbehave; when the intersection comes up empty
+//! (broken assumption, or more faults than `f`), the fuser falls back to
+//! the memoryless interval and reports the anomaly.
+
+use arsf_interval::Interval;
+
+use crate::{marzullo, FusionError};
+
+/// A bound on how fast the measured physical variable can change:
+/// `|dx/dt| ≤ max_rate`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicsBound {
+    max_rate: f64,
+}
+
+impl DynamicsBound {
+    /// Creates a rate bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rate` is negative or not finite.
+    pub fn new(max_rate: f64) -> Self {
+        assert!(
+            max_rate.is_finite() && max_rate >= 0.0,
+            "rate bound must be finite and non-negative"
+        );
+        Self { max_rate }
+    }
+
+    /// The bound value.
+    pub fn max_rate(&self) -> f64 {
+        self.max_rate
+    }
+
+    /// Propagates an interval forward by `dt` seconds: every point the
+    /// variable could reach starting anywhere inside `interval`.
+    pub fn propagate(&self, interval: &Interval<f64>, dt: f64) -> Interval<f64> {
+        let slack = self.max_rate * dt.abs();
+        Interval::new(interval.lo() - slack, interval.hi() + slack)
+            .expect("inflation preserves ordering")
+    }
+}
+
+/// The outcome of one historical-fusion round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistoricalOutcome {
+    /// The memoryless Marzullo fusion of this round's intervals.
+    pub memoryless: Interval<f64>,
+    /// The refined interval actually reported (intersection with the
+    /// propagated history when consistent).
+    pub fused: Interval<f64>,
+    /// `true` when the propagated history and the fresh fusion were
+    /// disjoint — evidence that the dynamics bound or the fault budget
+    /// was violated; the fuser reset to the memoryless interval.
+    pub history_conflict: bool,
+}
+
+/// A stateful fuser combining Marzullo fusion with propagated history.
+///
+/// # Example
+///
+/// ```
+/// use arsf_fusion::historical::{DynamicsBound, HistoricalFuser};
+/// use arsf_interval::Interval;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Speed changes at most 0.3 mph per 0.1 s control period.
+/// let mut fuser = HistoricalFuser::new(1, DynamicsBound::new(3.0), 0.1);
+/// let round1 = [Interval::new(9.9, 10.1)?, Interval::new(9.5, 10.5)?, Interval::new(9.0, 11.0)?];
+/// let out1 = fuser.fuse_round(&round1)?;
+/// // Second round: one sensor forged far to the right; the history clips it.
+/// let round2 = [Interval::new(9.9, 10.1)?, Interval::new(9.5, 10.5)?, Interval::new(10.4, 12.4)?];
+/// let out2 = fuser.fuse_round(&round2)?;
+/// assert!(out2.fused.width() <= out2.memoryless.width());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoricalFuser {
+    f: usize,
+    bound: DynamicsBound,
+    dt: f64,
+    history: Option<Interval<f64>>,
+}
+
+impl HistoricalFuser {
+    /// Creates a fuser with fault assumption `f`, the dynamics bound, and
+    /// the fixed inter-round period `dt` (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive and finite.
+    pub fn new(f: usize, bound: DynamicsBound, dt: f64) -> Self {
+        assert!(dt.is_finite() && dt > 0.0, "round period must be positive");
+        Self {
+            f,
+            bound,
+            dt,
+            history: None,
+        }
+    }
+
+    /// The fault assumption.
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// The dynamics bound.
+    pub fn bound(&self) -> DynamicsBound {
+        self.bound
+    }
+
+    /// The interval carried from the previous round, if any.
+    pub fn history(&self) -> Option<Interval<f64>> {
+        self.history
+    }
+
+    /// Clears the carried history (e.g. after a mode switch that breaks
+    /// the dynamics assumption).
+    pub fn reset(&mut self) {
+        self.history = None;
+    }
+
+    /// Fuses one round of intervals, refining with propagated history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FusionError`] from the memoryless fusion; the history
+    /// is left unchanged in that case so a transient sensor outage does
+    /// not destroy the accumulated knowledge.
+    pub fn fuse_round(
+        &mut self,
+        intervals: &[Interval<f64>],
+    ) -> Result<HistoricalOutcome, FusionError> {
+        let memoryless = marzullo::fuse(intervals, self.f)?;
+        let (fused, history_conflict) = match self.history {
+            None => (memoryless, false),
+            Some(prev) => {
+                let reachable = self.bound.propagate(&prev, self.dt);
+                match memoryless.intersection(&reachable) {
+                    Some(refined) => (refined, false),
+                    // Disjoint: dynamics or fault assumption violated.
+                    None => (memoryless, true),
+                }
+            }
+        };
+        self.history = Some(fused);
+        Ok(HistoricalOutcome {
+            memoryless,
+            fused,
+            history_conflict,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> Interval<f64> {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    fn round(center: f64) -> Vec<Interval<f64>> {
+        vec![
+            Interval::centered(center, 0.1).unwrap(),
+            Interval::centered(center, 0.5).unwrap(),
+            Interval::centered(center, 1.0).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn first_round_is_memoryless() {
+        let mut fuser = HistoricalFuser::new(1, DynamicsBound::new(3.0), 0.1);
+        let out = fuser.fuse_round(&round(10.0)).unwrap();
+        assert_eq!(out.fused, out.memoryless);
+        assert!(!out.history_conflict);
+        assert_eq!(fuser.history(), Some(out.fused));
+    }
+
+    #[test]
+    fn refinement_never_widens() {
+        let mut fuser = HistoricalFuser::new(1, DynamicsBound::new(3.0), 0.1);
+        let mut truth = 10.0;
+        for step in 0..50 {
+            truth += 0.01 * (step % 3) as f64; // slow drift within bound
+            let out = fuser.fuse_round(&round(truth)).unwrap();
+            assert!(out.fused.width() <= out.memoryless.width() + 1e-12);
+            assert!(out.fused.contains(truth), "step {step} lost the truth");
+            assert!(!out.history_conflict);
+        }
+    }
+
+    #[test]
+    fn history_clips_a_forged_extension() {
+        let mut fuser = HistoricalFuser::new(1, DynamicsBound::new(1.0), 0.1);
+        // Honest round with well-nested sensors establishes a tight
+        // history [9.9, 10.3].
+        let honest = vec![iv(9.95, 10.05), iv(9.9, 10.3), iv(9.8, 10.6)];
+        let first = fuser.fuse_round(&honest).unwrap();
+        assert_eq!(first.fused, iv(9.9, 10.3));
+        // Next round, the camera is forged to stretch the fusion right to
+        // the GPS's upper endpoint (memoryless fusion [9.9, 10.5]).
+        let forged = vec![
+            Interval::centered(10.0, 0.1).unwrap(),
+            Interval::centered(10.0, 0.5).unwrap(),
+            iv(10.45, 12.45),
+        ];
+        let memoryless = marzullo::fuse(&forged, 1).unwrap();
+        let out = fuser.fuse_round(&forged).unwrap();
+        assert!(
+            out.fused.width() < memoryless.width(),
+            "history must clip the forged extension: {} vs {}",
+            out.fused.width(),
+            memoryless.width()
+        );
+        // The clip lands exactly on the reachable set's upper bound:
+        // 10.3 + 1.0 mph/s * 0.1 s = 10.4.
+        assert!((out.fused.hi() - 10.4).abs() < 1e-12);
+        assert!(!out.history_conflict);
+    }
+
+    #[test]
+    fn conflict_falls_back_and_reports() {
+        let mut fuser = HistoricalFuser::new(1, DynamicsBound::new(0.5), 0.1);
+        fuser.fuse_round(&round(10.0)).unwrap();
+        // Teleport far beyond the reachable set: assumption broken.
+        let out = fuser.fuse_round(&round(50.0)).unwrap();
+        assert!(out.history_conflict);
+        assert_eq!(out.fused, out.memoryless);
+        // History restarts from the fresh interval.
+        assert_eq!(fuser.history(), Some(out.fused));
+    }
+
+    #[test]
+    fn fusion_error_preserves_history() {
+        let mut fuser = HistoricalFuser::new(0, DynamicsBound::new(1.0), 0.1);
+        fuser.fuse_round(&round(10.0)).unwrap();
+        let before = fuser.history();
+        // Disjoint pair with f = 0: no agreement.
+        let bad = [iv(0.0, 1.0), iv(5.0, 6.0)];
+        assert!(fuser.fuse_round(&bad).is_err());
+        assert_eq!(fuser.history(), before);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut fuser = HistoricalFuser::new(1, DynamicsBound::new(1.0), 0.1);
+        fuser.fuse_round(&round(10.0)).unwrap();
+        fuser.reset();
+        assert!(fuser.history().is_none());
+    }
+
+    #[test]
+    fn propagate_inflates_symmetrically() {
+        let bound = DynamicsBound::new(2.0);
+        let p = bound.propagate(&iv(0.0, 1.0), 0.5);
+        assert_eq!(p, iv(-1.0, 2.0));
+        // Zero rate: identity.
+        assert_eq!(DynamicsBound::new(0.0).propagate(&iv(0.0, 1.0), 9.0), iv(0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate bound must be finite")]
+    fn negative_rate_panics() {
+        let _ = DynamicsBound::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "round period must be positive")]
+    fn zero_dt_panics() {
+        let _ = HistoricalFuser::new(1, DynamicsBound::new(1.0), 0.0);
+    }
+}

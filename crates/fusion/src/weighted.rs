@@ -1,0 +1,228 @@
+//! Probabilistic point-fusion baselines.
+//!
+//! The paper's introduction contrasts interval fusion with the classical
+//! probabilistic approach where each sensor reports a point corrupted by
+//! noise of known distribution and fusion is a weighted average. These
+//! estimators are implemented here as baselines; they are *not*
+//! attack-resilient (a single forged reading shifts the mean arbitrarily),
+//! which the benchmark harness demonstrates quantitatively.
+
+use arsf_interval::{Interval, Scalar};
+
+use crate::FusionError;
+
+/// A fused point estimate with a symmetric uncertainty radius.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointEstimate {
+    /// The fused value.
+    pub value: f64,
+    /// A (non-negative) uncertainty radius around [`PointEstimate::value`].
+    pub radius: f64,
+}
+
+impl PointEstimate {
+    /// The estimate viewed as the interval `[value − radius, value + radius]`.
+    pub fn to_interval(self) -> Interval<f64> {
+        Interval::centered(self.value, self.radius)
+            .expect("radius is validated non-negative at construction sites")
+    }
+}
+
+/// Inverse-variance weighted mean of the interval midpoints, treating each
+/// half-width as one standard deviation.
+///
+/// Zero-width (exact) intervals receive all the weight: if any are present,
+/// the estimate is their plain average with radius 0.
+///
+/// # Errors
+///
+/// [`FusionError::EmptyInput`] when no intervals are given.
+///
+/// # Example
+///
+/// ```
+/// use arsf_fusion::weighted::inverse_variance;
+/// use arsf_interval::Interval;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let s = [
+///     Interval::centered(10.0, 1.0)?, // sigma 1
+///     Interval::centered(12.0, 2.0)?, // sigma 2
+/// ];
+/// let est = inverse_variance(&s)?;
+/// // The tighter sensor dominates: (10/1 + 12/4) / (1/1 + 1/4) = 10.4
+/// assert!((est.value - 10.4).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn inverse_variance<T: Scalar>(intervals: &[Interval<T>]) -> Result<PointEstimate, FusionError> {
+    if intervals.is_empty() {
+        return Err(FusionError::EmptyInput);
+    }
+    let exact: Vec<f64> = intervals
+        .iter()
+        .filter(|s| s.width() == T::ZERO)
+        .map(|s| s.midpoint().to_f64())
+        .collect();
+    if !exact.is_empty() {
+        let value = exact.iter().sum::<f64>() / exact.len() as f64;
+        return Ok(PointEstimate { value, radius: 0.0 });
+    }
+    let mut weight_sum = 0.0;
+    let mut weighted = 0.0;
+    for s in intervals {
+        let sigma = s.width().to_f64() * 0.5;
+        let w = 1.0 / (sigma * sigma);
+        weight_sum += w;
+        weighted += w * s.midpoint().to_f64();
+    }
+    Ok(PointEstimate {
+        value: weighted / weight_sum,
+        radius: (1.0 / weight_sum).sqrt(),
+    })
+}
+
+/// The unweighted mean of the interval midpoints, with radius equal to the
+/// mean half-width.
+///
+/// # Errors
+///
+/// [`FusionError::EmptyInput`] when no intervals are given.
+pub fn midpoint_mean<T: Scalar>(intervals: &[Interval<T>]) -> Result<PointEstimate, FusionError> {
+    if intervals.is_empty() {
+        return Err(FusionError::EmptyInput);
+    }
+    let n = intervals.len() as f64;
+    let value = intervals.iter().map(|s| s.midpoint().to_f64()).sum::<f64>() / n;
+    let radius = intervals
+        .iter()
+        .map(|s| s.width().to_f64() * 0.5)
+        .sum::<f64>()
+        / n;
+    Ok(PointEstimate { value, radius })
+}
+
+/// The median of the interval midpoints — the classical robust location
+/// estimator, tolerating up to `⌈n/2⌉ − 1` arbitrarily-corrupted readings.
+///
+/// The radius reported is the median half-width.
+///
+/// # Errors
+///
+/// [`FusionError::EmptyInput`] when no intervals are given.
+///
+/// # Example
+///
+/// ```
+/// use arsf_fusion::weighted::midpoint_median;
+/// use arsf_interval::Interval;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let s = [
+///     Interval::centered(10.0, 1.0)?,
+///     Interval::centered(10.2, 1.0)?,
+///     Interval::centered(500.0, 1.0)?, // forged
+/// ];
+/// // The forged outlier cannot drag the median away:
+/// assert_eq!(midpoint_median(&s)?.value, 10.2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn midpoint_median<T: Scalar>(intervals: &[Interval<T>]) -> Result<PointEstimate, FusionError> {
+    if intervals.is_empty() {
+        return Err(FusionError::EmptyInput);
+    }
+    let mut mids: Vec<f64> = intervals.iter().map(|s| s.midpoint().to_f64()).collect();
+    let mut halves: Vec<f64> = intervals
+        .iter()
+        .map(|s| s.width().to_f64() * 0.5)
+        .collect();
+    Ok(PointEstimate {
+        value: median_in_place(&mut mids),
+        radius: median_in_place(&mut halves),
+    })
+}
+
+fn median_in_place(xs: &mut [f64]) -> f64 {
+    xs.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite by interval invariant"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ci(center: f64, radius: f64) -> Interval<f64> {
+        Interval::centered(center, radius).unwrap()
+    }
+
+    #[test]
+    fn all_estimators_reject_empty_input() {
+        assert!(inverse_variance::<f64>(&[]).is_err());
+        assert!(midpoint_mean::<f64>(&[]).is_err());
+        assert!(midpoint_median::<f64>(&[]).is_err());
+    }
+
+    #[test]
+    fn single_sensor_is_identity() {
+        let s = [ci(10.0, 0.5)];
+        for est in [
+            inverse_variance(&s).unwrap(),
+            midpoint_mean(&s).unwrap(),
+            midpoint_median(&s).unwrap(),
+        ] {
+            assert_eq!(est.value, 10.0);
+            assert_eq!(est.radius, 0.5);
+        }
+    }
+
+    #[test]
+    fn inverse_variance_prefers_precise_sensors() {
+        let s = [ci(10.0, 1.0), ci(12.0, 2.0)];
+        let est = inverse_variance(&s).unwrap();
+        assert!((est.value - 10.4).abs() < 1e-9);
+        assert!(est.radius < 1.0);
+    }
+
+    #[test]
+    fn inverse_variance_with_exact_sensor() {
+        let s = [ci(10.0, 0.0), ci(50.0, 1.0)];
+        let est = inverse_variance(&s).unwrap();
+        assert_eq!(est.value, 10.0);
+        assert_eq!(est.radius, 0.0);
+    }
+
+    #[test]
+    fn mean_is_attackable_median_is_not() {
+        let honest = [ci(10.0, 1.0), ci(10.2, 1.0)];
+        let attacked = [ci(10.0, 1.0), ci(10.2, 1.0), ci(1000.0, 1.0)];
+        let mean_shift =
+            midpoint_mean(&attacked).unwrap().value - midpoint_mean(&honest).unwrap().value;
+        let median_shift =
+            midpoint_median(&attacked).unwrap().value - midpoint_median(&honest).unwrap().value;
+        assert!(mean_shift > 100.0);
+        assert!(median_shift.abs() <= 0.2);
+    }
+
+    #[test]
+    fn median_of_even_count_averages_middle_pair() {
+        let s = [ci(1.0, 0.1), ci(2.0, 0.1), ci(3.0, 0.1), ci(10.0, 0.1)];
+        assert_eq!(midpoint_median(&s).unwrap().value, 2.5);
+    }
+
+    #[test]
+    fn point_estimate_to_interval_round_trip() {
+        let est = PointEstimate {
+            value: 5.0,
+            radius: 1.5,
+        };
+        let iv = est.to_interval();
+        assert_eq!(iv.lo(), 3.5);
+        assert_eq!(iv.hi(), 6.5);
+    }
+}

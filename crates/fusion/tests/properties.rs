@@ -1,0 +1,190 @@
+//! Property-based tests for the fusion crate: the paper's guarantees as
+//! machine-checked invariants.
+
+use arsf_fusion::bounds::{check_bounds, regime, BoundRegime};
+use arsf_fusion::{brooks_iyengar, marzullo, naive};
+use arsf_interval::ops::{hull_all, intersection_all};
+use arsf_interval::Interval;
+use proptest::prelude::*;
+
+fn grid_interval() -> impl Strategy<Value = Interval<i64>> {
+    (-60_i64..60, 0_i64..40)
+        .prop_map(|(lo, w)| Interval::new(lo, lo + w).expect("ordered by construction"))
+}
+
+fn configs() -> impl Strategy<Value = (Vec<Interval<i64>>, usize)> {
+    prop::collection::vec(grid_interval(), 1..=9)
+        .prop_flat_map(|xs| {
+            let n = xs.len();
+            (Just(xs), 0..n)
+        })
+}
+
+/// A family of intervals all containing a common "true value", plus a
+/// number of unconstrained (possibly faulty) intervals.
+fn truth_anchored() -> impl Strategy<Value = (Vec<Interval<i64>>, Vec<Interval<i64>>, i64)> {
+    (
+        -20_i64..20,
+        prop::collection::vec((0_i64..30, 0_i64..30), 1..=6),
+        prop::collection::vec(grid_interval(), 0..=3),
+    )
+        .prop_map(|(truth, correct_shapes, faulty)| {
+            let correct: Vec<Interval<i64>> = correct_shapes
+                .into_iter()
+                .map(|(left, right)| {
+                    Interval::new(truth - left, truth + right).expect("ordered")
+                })
+                .collect();
+            (correct, faulty, truth)
+        })
+}
+
+proptest! {
+    #[test]
+    fn sweep_equals_naive_reference((xs, f) in configs()) {
+        prop_assert_eq!(marzullo::fuse(&xs, f), naive::fuse(&xs, f));
+    }
+
+    #[test]
+    fn fusion_is_monotone_in_f(xs in prop::collection::vec(grid_interval(), 1..=9)) {
+        let mut prev: Option<Interval<i64>> = None;
+        for f in 0..xs.len() {
+            let cur = marzullo::fuse(&xs, f).ok();
+            if let (Some(p), Some(c)) = (prev, cur) {
+                prop_assert!(c.contains_interval(&p), "f went {p} -> {c}");
+            }
+            if cur.is_some() {
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn f_extremes_are_intersection_and_hull(xs in prop::collection::vec(grid_interval(), 1..=9)) {
+        match intersection_all(&xs) {
+            Some(i) => prop_assert_eq!(marzullo::fuse(&xs, 0).unwrap(), i),
+            None => prop_assert!(marzullo::fuse(&xs, 0).is_err()),
+        }
+        prop_assert_eq!(
+            marzullo::fuse(&xs, xs.len() - 1).unwrap(),
+            hull_all(&xs).unwrap()
+        );
+    }
+
+    #[test]
+    fn fusion_contains_truth_under_fault_assumption(
+        (correct, faulty, truth) in truth_anchored()
+    ) {
+        // As long as the number of unconstrained intervals is assumed as f,
+        // the fusion interval must contain the true value.
+        let mut all = correct.clone();
+        all.extend(faulty.iter().copied());
+        let f = faulty.len();
+        if f < all.len() {
+            let fused = marzullo::fuse(&all, f).expect(
+                "correct intervals share the truth, so coverage n-f is reachable",
+            );
+            prop_assert!(fused.contains(truth));
+        }
+    }
+
+    #[test]
+    fn fusion_width_never_below_best_correct_information(
+        (correct, _faulty, _truth) in truth_anchored()
+    ) {
+        // Fusing only correct intervals with f = 0 gives the tightest
+        // possible interval; any nonzero fault allowance must be at least
+        // as wide.
+        let base = marzullo::fuse(&correct, 0).unwrap();
+        for f in 1..correct.len() {
+            let wider = marzullo::fuse(&correct, f).unwrap();
+            prop_assert!(wider.width() >= base.width());
+        }
+    }
+
+    #[test]
+    fn theorem2_bound_holds(
+        (correct, faulty, _truth) in truth_anchored()
+    ) {
+        // Theorem 2: |S_{N,f}| <= sum of two widest correct widths, for
+        // f < ceil(n/2) and fa <= f.
+        prop_assume!(correct.len() >= 2);
+        let mut all = correct.clone();
+        all.extend(faulty.iter().copied());
+        let n = all.len();
+        let f = faulty.len();
+        prop_assume!(f < n.div_ceil(2));
+        let report = check_bounds(&all, &(0..correct.len()).collect::<Vec<_>>(), f).unwrap();
+        prop_assert!(report.holds, "bound report: {:?}", report);
+    }
+
+    #[test]
+    fn marzullo_width_bounds_by_regime(
+        (correct, faulty, _truth) in truth_anchored()
+    ) {
+        let mut all = correct.clone();
+        all.extend(faulty.iter().copied());
+        let n = all.len();
+        let f = faulty.len();
+        prop_assume!(f < n);
+        let Ok(fused) = marzullo::fuse(&all, f) else { return Ok(()); };
+        match regime(n, f) {
+            BoundRegime::CorrectWidthBounded => {
+                let max_correct = correct.iter().map(|s| s.width()).max().unwrap();
+                prop_assert!(fused.width() <= max_correct);
+            }
+            BoundRegime::SomeWidthBounded => {
+                let max_any = all.iter().map(|s| s.width()).max().unwrap();
+                prop_assert!(fused.width() <= max_any);
+            }
+            BoundRegime::Unbounded => {}
+        }
+    }
+
+    #[test]
+    fn brooks_iyengar_estimate_inside_marzullo_interval((xs, f) in configs()) {
+        if let Ok(out) = brooks_iyengar::fuse(&xs, f) {
+            let mz = marzullo::fuse(&xs, f).unwrap();
+            prop_assert_eq!(out.interval, mz);
+            prop_assert!(mz.to_f64_interval().contains(out.estimate));
+        }
+    }
+
+    #[test]
+    fn brooks_iyengar_regions_are_sorted_and_supported((xs, f) in configs()) {
+        if let Ok(out) = brooks_iyengar::fuse(&xs, f) {
+            let required = xs.len() - f;
+            for (r, support) in &out.regions {
+                prop_assert!(*support >= required);
+                // Support equals true coverage at the region's midpoint
+                // (or at the point itself for degenerate regions).
+                let probe = r.midpoint();
+                let cov = xs.iter().filter(|s| s.contains(probe)).count();
+                prop_assert!(cov >= required);
+            }
+            for w in out.regions.windows(2) {
+                prop_assert!(w[0].0.hi() <= w[1].0.lo());
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_is_permutation_invariant((xs, f) in configs()) {
+        let mut reversed = xs.clone();
+        reversed.reverse();
+        prop_assert_eq!(marzullo::fuse(&xs, f), marzullo::fuse(&reversed, f));
+    }
+
+    #[test]
+    fn fusion_is_translation_equivariant((xs, f) in configs(), d in -40_i64..40) {
+        let shifted: Vec<Interval<i64>> =
+            xs.iter().map(|s| s.translate(d).unwrap()).collect();
+        match (marzullo::fuse(&xs, f), marzullo::fuse(&shifted, f)) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.translate(d).unwrap(), b);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "mismatch {:?} vs {:?}", a, b),
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Sweep-line *k*-coverage kernel.
+//!
+//! The heart of Marzullo's fusion algorithm is a purely geometric question:
+//! *which points of the real line are covered by at least `k` of the `n`
+//! given closed intervals?* The fusion interval for `f` assumed faults is
+//! the span from the smallest to the largest point covered by at least
+//! `n - f` intervals.
+//!
+//! This module provides two implementations:
+//!
+//! * [`k_covered_span`] — a single `O(n log n)` endpoint sweep that answers
+//!   the span question directly; this is what the fusion crate calls in
+//!   production,
+//! * [`CoverageMap`] — a full piecewise-constant coverage profile, used by
+//!   the naive reference fuser, the attacker's optimisers and the test
+//!   suite to cross-validate the sweep.
+
+use crate::{Interval, Scalar};
+
+/// The span (convex hull) of all points covered by at least `k` of the
+/// given closed intervals, or `None` when no point reaches coverage `k`.
+///
+/// Ties at shared endpoints are handled with closed-interval semantics: a
+/// point where one interval ends and another begins is covered by both.
+///
+/// `k == 0` is rejected (`None`): every point of the real line is trivially
+/// covered by zero intervals, so the span would be unbounded.
+///
+/// # Example
+///
+/// ```
+/// use arsf_interval::{coverage::k_covered_span, Interval};
+///
+/// # fn main() -> Result<(), arsf_interval::IntervalError> {
+/// let xs = [
+///     Interval::new(0.0, 4.0)?,
+///     Interval::new(2.0, 6.0)?,
+///     Interval::new(5.0, 9.0)?,
+/// ];
+/// // Points in >= 2 intervals: [2,4] ∪ [5,6]; the span is [2,6].
+/// assert_eq!(k_covered_span(&xs, 2), Some(Interval::new(2.0, 6.0)?));
+/// // No point lies in all three.
+/// assert_eq!(k_covered_span(&xs, 3), None);
+/// # Ok(())
+/// # }
+/// ```
+pub fn k_covered_span<T: Scalar>(intervals: &[Interval<T>], k: usize) -> Option<Interval<T>> {
+    if k == 0 || k > intervals.len() {
+        return None;
+    }
+    // Events: +1 at lo, -1 at hi. At equal coordinates the +1 events are
+    // processed first so that touching closed intervals count as
+    // overlapping at the shared point.
+    let mut events: Vec<(T, i8)> = Vec::with_capacity(intervals.len() * 2);
+    for s in intervals {
+        events.push((s.lo(), 1));
+        events.push((s.hi(), -1));
+    }
+    events.sort_unstable_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("interval endpoints are finite by construction")
+            .then(b.1.cmp(&a.1)) // +1 before -1 at equal coordinates
+    });
+
+    let mut count: usize = 0;
+    let mut lo: Option<T> = None;
+    let mut hi: Option<T> = None;
+    for (x, delta) in events {
+        if delta == 1 {
+            count += 1;
+            if count >= k && lo.is_none() {
+                lo = Some(x);
+            }
+        } else {
+            if count >= k && count - 1 < k {
+                // Coverage drops below k just after x; x itself is still
+                // covered by k intervals (closed upper endpoint).
+                hi = Some(x);
+            }
+            count -= 1;
+        }
+    }
+    match (lo, hi) {
+        (Some(lo), Some(hi)) => {
+            Some(Interval::new(lo, hi).expect("sweep produces ordered endpoints"))
+        }
+        _ => None,
+    }
+}
+
+/// A piecewise-constant profile of how many intervals cover each point.
+///
+/// The profile distinguishes coverage *at* breakpoints from coverage on the
+/// *open segments* between them, which matters for closed intervals: at a
+/// point where one interval ends and the next begins, the point coverage
+/// exceeds both neighbouring segment coverages.
+///
+/// # Example
+///
+/// ```
+/// use arsf_interval::{coverage::CoverageMap, Interval};
+///
+/// # fn main() -> Result<(), arsf_interval::IntervalError> {
+/// let xs = [Interval::new(0.0, 1.0)?, Interval::new(1.0, 2.0)?];
+/// let map = CoverageMap::build(&xs);
+/// assert_eq!(map.coverage_at(1.0), 2); // both intervals touch x = 1
+/// assert_eq!(map.coverage_at(0.5), 1);
+/// assert_eq!(map.coverage_at(7.0), 0);
+/// assert_eq!(map.max_coverage(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageMap<T> {
+    /// Sorted, de-duplicated interval endpoints.
+    points: Vec<T>,
+    /// `point_cov[i]` = number of intervals containing `points[i]`.
+    point_cov: Vec<usize>,
+    /// `seg_cov[i]` = number of intervals containing the open segment
+    /// `(points[i], points[i + 1])`; has length `points.len() - 1` (or 0).
+    seg_cov: Vec<usize>,
+}
+
+impl<T: Scalar> CoverageMap<T> {
+    /// Builds the coverage profile of the given intervals in
+    /// `O(n log n)` time.
+    pub fn build(intervals: &[Interval<T>]) -> Self {
+        let mut points: Vec<T> = Vec::with_capacity(intervals.len() * 2);
+        for s in intervals {
+            points.push(s.lo());
+            points.push(s.hi());
+        }
+        points.sort_unstable_by(|a, b| {
+            a.partial_cmp(b)
+                .expect("interval endpoints are finite by construction")
+        });
+        points.dedup_by(|a, b| a == b);
+
+        let m = points.len();
+        let mut point_diff = vec![0_isize; m + 1];
+        let mut seg_diff = vec![0_isize; m + 1];
+        for s in intervals {
+            let il = index_of(&points, s.lo());
+            let ih = index_of(&points, s.hi());
+            point_diff[il] += 1;
+            point_diff[ih + 1] -= 1;
+            // The interval covers open segments il .. ih-1 (between its own
+            // endpoints); degenerate intervals cover no segment.
+            if ih > il {
+                seg_diff[il] += 1;
+                seg_diff[ih] -= 1;
+            }
+        }
+
+        let point_cov = prefix_counts(&point_diff, m);
+        let seg_cov = prefix_counts(&seg_diff, m.saturating_sub(1));
+        Self {
+            points,
+            point_cov,
+            seg_cov,
+        }
+    }
+
+    /// The number of intervals covering the point `x`.
+    pub fn coverage_at(&self, x: T) -> usize {
+        // `pos` is the first index with points[pos] >= x.
+        let pos = self.points.partition_point(|p| *p < x);
+        if pos < self.points.len() && self.points[pos] == x {
+            return self.point_cov[pos];
+        }
+        if pos == 0 || pos >= self.points.len() {
+            // Outside the hull of all endpoints.
+            return 0;
+        }
+        self.seg_cov[pos - 1]
+    }
+
+    /// The maximum coverage attained anywhere (0 for an empty profile).
+    pub fn max_coverage(&self) -> usize {
+        self.point_cov.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The span from the first to the last point with coverage at least
+    /// `k`, or `None` when coverage never reaches `k` (or `k == 0`).
+    ///
+    /// Agrees with [`k_covered_span`]; the sweep version is cheaper when
+    /// only the span is needed.
+    pub fn span_at_least(&self, k: usize) -> Option<Interval<T>> {
+        if k == 0 {
+            return None;
+        }
+        let first = self.point_cov.iter().position(|&c| c >= k)?;
+        let last = self.point_cov.iter().rposition(|&c| c >= k)?;
+        Some(
+            Interval::new(self.points[first], self.points[last])
+                .expect("points are sorted, so first <= last"),
+        )
+    }
+
+    /// The breakpoints of the profile (sorted, de-duplicated endpoints).
+    pub fn breakpoints(&self) -> &[T] {
+        &self.points
+    }
+
+    /// Coverage at each breakpoint, parallel to
+    /// [`CoverageMap::breakpoints`].
+    pub fn point_coverages(&self) -> &[usize] {
+        &self.point_cov
+    }
+
+    /// Coverage of each *open* segment between consecutive breakpoints;
+    /// entry `i` covers `(breakpoints[i], breakpoints[i + 1])` and the
+    /// slice is one shorter than [`CoverageMap::breakpoints`].
+    ///
+    /// Exact even on integer grids where a unit-width segment has no
+    /// representable interior point to probe with
+    /// [`CoverageMap::coverage_at`].
+    pub fn segment_coverages(&self) -> &[usize] {
+        &self.seg_cov
+    }
+
+    /// The maximal closed sub-intervals on which coverage is at least `k`,
+    /// in increasing order.
+    ///
+    /// Unlike [`CoverageMap::span_at_least`], which returns the convex hull
+    /// of the `≥ k` region, this exposes the (possibly disconnected) region
+    /// itself. Used by the attacker's optimisers to reason about where
+    /// forged intervals can extend the fusion interval.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use arsf_interval::{coverage::CoverageMap, Interval};
+    ///
+    /// # fn main() -> Result<(), arsf_interval::IntervalError> {
+    /// let xs = [
+    ///     Interval::new(0.0, 2.0)?,
+    ///     Interval::new(1.0, 2.0)?,
+    ///     Interval::new(4.0, 6.0)?,
+    ///     Interval::new(5.0, 6.0)?,
+    /// ];
+    /// let map = CoverageMap::build(&xs);
+    /// let regions = map.regions_at_least(2);
+    /// assert_eq!(
+    ///     regions,
+    ///     vec![Interval::new(1.0, 2.0)?, Interval::new(5.0, 6.0)?]
+    /// );
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn regions_at_least(&self, k: usize) -> Vec<Interval<T>> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut regions: Vec<Interval<T>> = Vec::new();
+        let mut open: Option<T> = None; // start of the current >= k run
+        for i in 0..self.points.len() {
+            let point_ok = self.point_cov[i] >= k;
+            if point_ok && open.is_none() {
+                open = Some(self.points[i]);
+            }
+            // The run ends at this breakpoint when the following open
+            // segment (if any) falls below k, or the profile ends.
+            let seg_ok = i < self.seg_cov.len() && self.seg_cov[i] >= k;
+            if let Some(start) = open {
+                if !seg_ok {
+                    if point_ok {
+                        regions.push(
+                            Interval::new(start, self.points[i])
+                                .expect("run endpoints are ordered"),
+                        );
+                    }
+                    open = None;
+                }
+            }
+        }
+        regions
+    }
+}
+
+fn index_of<T: Scalar>(points: &[T], x: T) -> usize {
+    let pos = points.partition_point(|p| *p < x);
+    debug_assert!(
+        pos < points.len() && points[pos] == x,
+        "endpoint must be present in the breakpoint list"
+    );
+    pos
+}
+
+fn prefix_counts(diff: &[isize], len: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(len);
+    let mut acc: isize = 0;
+    for d in diff.iter().take(len) {
+        acc += d;
+        debug_assert!(acc >= 0, "coverage count went negative");
+        out.push(acc as usize);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> Interval<f64> {
+        Interval::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn span_rejects_k_zero_and_k_too_large() {
+        let xs = [iv(0.0, 1.0)];
+        assert_eq!(k_covered_span(&xs, 0), None);
+        assert_eq!(k_covered_span(&xs, 2), None);
+        assert_eq!(k_covered_span::<f64>(&[], 1), None);
+    }
+
+    #[test]
+    fn span_k1_is_hull() {
+        let xs = [iv(0.0, 1.0), iv(5.0, 6.0), iv(2.0, 3.0)];
+        assert_eq!(k_covered_span(&xs, 1), Some(iv(0.0, 6.0)));
+    }
+
+    #[test]
+    fn span_kn_is_common_intersection_when_nonempty() {
+        let xs = [iv(0.0, 3.0), iv(1.0, 4.0), iv(2.0, 5.0)];
+        assert_eq!(k_covered_span(&xs, 3), Some(iv(2.0, 3.0)));
+    }
+
+    #[test]
+    fn touching_endpoints_count_as_double_coverage() {
+        let xs = [iv(0.0, 1.0), iv(1.0, 2.0)];
+        assert_eq!(k_covered_span(&xs, 2), Some(iv(1.0, 1.0)));
+    }
+
+    #[test]
+    fn disconnected_coverage_region_yields_spanning_hull() {
+        let xs = [iv(0.0, 2.0), iv(1.0, 2.0), iv(4.0, 6.0), iv(5.0, 6.0)];
+        // >= 2 region is [1,2] ∪ [5,6]; Marzullo takes the span.
+        assert_eq!(k_covered_span(&xs, 2), Some(iv(1.0, 6.0)));
+    }
+
+    #[test]
+    fn degenerate_intervals_participate() {
+        let xs = [iv(1.0, 1.0), iv(0.0, 2.0)];
+        assert_eq!(k_covered_span(&xs, 2), Some(iv(1.0, 1.0)));
+    }
+
+    #[test]
+    fn integer_grid_sweep() {
+        let xs = [
+            Interval::new(0_i64, 4).unwrap(),
+            Interval::new(2, 6).unwrap(),
+            Interval::new(5, 9).unwrap(),
+        ];
+        assert_eq!(
+            k_covered_span(&xs, 2),
+            Some(Interval::new(2_i64, 6).unwrap())
+        );
+    }
+
+    #[test]
+    fn coverage_map_point_and_segment_queries() {
+        let xs = [iv(0.0, 4.0), iv(2.0, 6.0), iv(5.0, 9.0)];
+        let map = CoverageMap::build(&xs);
+        assert_eq!(map.coverage_at(-1.0), 0);
+        assert_eq!(map.coverage_at(0.0), 1);
+        assert_eq!(map.coverage_at(3.0), 2);
+        assert_eq!(map.coverage_at(4.0), 2);
+        assert_eq!(map.coverage_at(4.5), 1);
+        assert_eq!(map.coverage_at(5.0), 2);
+        assert_eq!(map.coverage_at(9.0), 1);
+        assert_eq!(map.coverage_at(9.5), 0);
+        assert_eq!(map.max_coverage(), 2);
+    }
+
+    #[test]
+    fn coverage_map_span_agrees_with_sweep() {
+        let xs = [iv(0.0, 4.0), iv(2.0, 6.0), iv(5.0, 9.0), iv(3.0, 3.5)];
+        let map = CoverageMap::build(&xs);
+        for k in 0..=5 {
+            assert_eq!(map.span_at_least(k), k_covered_span(&xs, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn coverage_map_empty_profile() {
+        let map = CoverageMap::<f64>::build(&[]);
+        assert_eq!(map.max_coverage(), 0);
+        assert_eq!(map.span_at_least(1), None);
+        assert_eq!(map.coverage_at(0.0), 0);
+        assert!(map.regions_at_least(1).is_empty());
+    }
+
+    #[test]
+    fn regions_at_least_splits_disconnected_components() {
+        let xs = [iv(0.0, 2.0), iv(1.0, 2.0), iv(4.0, 6.0), iv(5.0, 6.0)];
+        let map = CoverageMap::build(&xs);
+        assert_eq!(map.regions_at_least(2), vec![iv(1.0, 2.0), iv(5.0, 6.0)]);
+        assert_eq!(map.regions_at_least(1), vec![iv(0.0, 2.0), iv(4.0, 6.0)]);
+        assert!(map.regions_at_least(3).is_empty());
+    }
+
+    #[test]
+    fn regions_at_least_handles_single_point_components() {
+        let xs = [iv(0.0, 1.0), iv(1.0, 2.0)];
+        let map = CoverageMap::build(&xs);
+        assert_eq!(map.regions_at_least(2), vec![iv(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn coverage_with_duplicated_intervals() {
+        let xs = [iv(0.0, 1.0); 4];
+        let map = CoverageMap::build(&xs);
+        assert_eq!(map.max_coverage(), 4);
+        assert_eq!(k_covered_span(&xs, 4), Some(iv(0.0, 1.0)));
+    }
+}

@@ -1,0 +1,411 @@
+//! Information-exposure analysis of schedules.
+//!
+//! The attacker's power under a given schedule is determined by *what she
+//! has seen when she must commit*. This module computes, for a fixed
+//! transmission order and a set of attacked sensors:
+//!
+//! * how many **correct** intervals precede each attacked slot (the
+//!   information available when forging that interval),
+//! * whether each attacked slot may use the paper's **active mode**
+//!   (`sent ≥ n − f − far`, where `far` counts the attacker's still-unsent
+//!   intervals), which removes the `Δ ⊆ forged` constraint,
+//! * whether the attacked slots are consecutive (a hypothesis of
+//!   Theorem 1).
+//!
+//! These are the quantities the paper's Section IV argument is built on:
+//! Ascending forces precise (dangerous) sensors to commit blind, while
+//! Descending hands them full information.
+
+use crate::TransmissionOrder;
+
+/// Exposure of one attacked slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotExposure {
+    /// The attacked sensor's index.
+    pub sensor: usize,
+    /// Its slot position in the order (0-based).
+    pub slot: usize,
+    /// Number of *correct* intervals transmitted strictly before the slot.
+    pub correct_seen: usize,
+    /// Number of measurements (any kind) transmitted strictly before.
+    pub sent_before: usize,
+    /// Number of attacked intervals not yet sent at this slot, *including
+    /// this one* (the paper's `far`).
+    pub unsent_attacked: usize,
+    /// Whether active mode is allowed: `sent_before ≥ n − f − far`.
+    pub active_mode: bool,
+}
+
+/// Exposure of a whole attacked-sensor set under one order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExposureReport {
+    /// Per-attacked-slot exposure, in slot order.
+    pub slots: Vec<SlotExposure>,
+    /// Whether the attacked slots are consecutive in the order.
+    pub consecutive: bool,
+    /// Total number of sensors.
+    pub n: usize,
+    /// The fault assumption used for the active-mode threshold.
+    pub f: usize,
+}
+
+impl ExposureReport {
+    /// Correct intervals seen before the *first* attacked slot — the
+    /// information available when the attacker must start committing.
+    pub fn correct_seen_at_first(&self) -> usize {
+        self.slots.first().map_or(0, |s| s.correct_seen)
+    }
+
+    /// Correct intervals seen before the *last* attacked slot.
+    pub fn correct_seen_at_last(&self) -> usize {
+        self.slots.last().map_or(0, |s| s.correct_seen)
+    }
+
+    /// Whether every attacked slot may use active mode.
+    pub fn fully_active(&self) -> bool {
+        !self.slots.is_empty() && self.slots.iter().all(|s| s.active_mode)
+    }
+}
+
+/// Computes the [`ExposureReport`] for `attacked` sensors under `order`
+/// with fusion fault assumption `f`.
+///
+/// Sensors listed in `attacked` but absent from the order are ignored;
+/// duplicate entries are ignored.
+///
+/// # Example
+///
+/// ```
+/// use arsf_schedule::{analysis::exposure, TransmissionOrder};
+///
+/// // Ascending order of widths {5, 11, 17}: sensor 0 is most precise.
+/// let order = TransmissionOrder::new(vec![0, 1, 2]).unwrap();
+/// // The attacker holds the most precise sensor; f = 1.
+/// let report = exposure(&order, &[0], 1);
+/// assert_eq!(report.correct_seen_at_first(), 0); // commits blind
+/// assert!(!report.slots[0].active_mode);         // 0 sent < 3 - 1 - 1
+///
+/// // Descending: the same sensor now transmits last and sees everything.
+/// let order = TransmissionOrder::new(vec![2, 1, 0]).unwrap();
+/// let report = exposure(&order, &[0], 1);
+/// assert_eq!(report.correct_seen_at_first(), 2);
+/// assert!(report.slots[0].active_mode);          // 2 sent >= 3 - 1 - 1
+/// ```
+pub fn exposure(order: &TransmissionOrder, attacked: &[usize], f: usize) -> ExposureReport {
+    let n = order.len();
+    let is_attacked = |i: usize| attacked.contains(&i);
+
+    let attacked_slots: Vec<usize> = order
+        .iter()
+        .enumerate()
+        .filter(|(_, &sensor)| is_attacked(sensor))
+        .map(|(slot, _)| slot)
+        .collect();
+    let total_attacked = attacked_slots.len();
+
+    let mut slots = Vec::with_capacity(total_attacked);
+    for (k, &slot) in attacked_slots.iter().enumerate() {
+        let sensor = order[slot];
+        let sent_before = slot;
+        let correct_seen = order.before(slot).iter().filter(|&&s| !is_attacked(s)).count();
+        let unsent_attacked = total_attacked - k;
+        // Paper, Section III-A: active mode requires
+        //   sent >= n - f - far.
+        let threshold = n.saturating_sub(f + unsent_attacked);
+        let active_mode = sent_before >= threshold;
+        slots.push(SlotExposure {
+            sensor,
+            slot,
+            correct_seen,
+            sent_before,
+            unsent_attacked,
+            active_mode,
+        });
+    }
+
+    let consecutive = slots
+        .windows(2)
+        .all(|w| w[1].slot == w[0].slot + 1);
+
+    ExposureReport {
+        slots,
+        consecutive,
+        n,
+        f,
+    }
+}
+
+/// The average number of correct intervals visible to the attacker over
+/// all single-sensor attacks, a scalar summary used to rank schedules.
+///
+/// Lower is better for the defender.
+///
+/// # Example
+///
+/// ```
+/// use arsf_schedule::{analysis::mean_exposure_single_attack, TransmissionOrder};
+///
+/// let order = TransmissionOrder::identity(4);
+/// // Attacking sensor k in slot k sees k earlier (correct) intervals:
+/// // mean = (0 + 1 + 2 + 3) / 4.
+/// assert_eq!(mean_exposure_single_attack(&order, 1), 1.5);
+/// ```
+pub fn mean_exposure_single_attack(order: &TransmissionOrder, f: usize) -> f64 {
+    let n = order.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: usize = (0..n)
+        .map(|sensor| exposure(order, &[sensor], f).correct_seen_at_first())
+        .sum();
+    total as f64 / n as f64
+}
+
+/// A defender-side risk score for an order: how much information the
+/// schedule hands an attacker, weighted by how dangerous each sensor is
+/// to compromise.
+///
+/// Theorems 3 and 4 say compromising *precise* sensors yields the most
+/// power, so the score weights each sensor's pre-slot exposure by its
+/// precision (`1 / width`, degenerate widths clamped): an order that lets
+/// a precise sensor transmit late — informed — scores high (bad).
+/// Optionally, sensors the operator believes cannot be spoofed
+/// (`trusted`) contribute no risk no matter where they sit.
+///
+/// The score is a heuristic ranking device, not an expectation; the exact
+/// expectations live in the `arsf-attack` expectimax engine. Its value is
+/// that it is closed-form, so whole permutation spaces can be searched.
+pub fn exposure_risk(
+    order: &TransmissionOrder,
+    widths: &[f64],
+    f: usize,
+    trusted: &[bool],
+) -> f64 {
+    let mut score = 0.0;
+    for sensor in 0..order.len() {
+        if trusted.get(sensor).copied().unwrap_or(false) {
+            continue;
+        }
+        let report = exposure(order, &[sensor], f);
+        let seen = report.correct_seen_at_first() as f64;
+        let width = widths.get(sensor).copied().unwrap_or(1.0).max(1e-9);
+        score += seen / width;
+    }
+    score
+}
+
+/// Searches every permutation (n ≤ 9) for the order minimising
+/// [`exposure_risk`] — the paper's scheduling advice made executable.
+///
+/// For untrusted sensors with distinct widths the result is the Ascending
+/// order (precise sensors first, blind); sensors marked `trusted`
+/// (hard to spoof, e.g. an IMU) are pushed to the *end* of the schedule,
+/// matching the paper's closing observation that confident-correct
+/// sensors "should always be placed last", denying the attacker their
+/// measurements.
+///
+/// Ties are broken towards the lexicographically-smallest order, so the
+/// result is deterministic.
+///
+/// # Panics
+///
+/// Panics if `widths.len() != trusted.len()` or `widths.len() > 9`
+/// (factorial search).
+///
+/// # Example
+///
+/// ```
+/// use arsf_schedule::analysis::recommend_order;
+///
+/// // LandShark widths; nobody trusted: plain Ascending.
+/// let order = recommend_order(&[0.2, 0.2, 1.0, 2.0], 1, &[false; 4]);
+/// assert_eq!(order.as_slice(), &[0, 1, 2, 3]);
+///
+/// // Declare the camera (sensor 3) unspoofable: it moves last anyway;
+/// // declare the GPS (sensor 2) unspoofable: it moves to the end.
+/// let order = recommend_order(&[0.2, 0.2, 1.0, 2.0], 1, &[false, false, true, false]);
+/// assert_eq!(*order.as_slice().last().unwrap(), 2);
+/// ```
+pub fn recommend_order(widths: &[f64], f: usize, trusted: &[bool]) -> TransmissionOrder {
+    let n = widths.len();
+    assert_eq!(n, trusted.len(), "one trust flag per sensor");
+    assert!(n <= 9, "permutation search is factorial; n must be <= 9");
+    if n == 0 {
+        return TransmissionOrder::identity(0);
+    }
+
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    let mut perm: Vec<usize> = (0..n).collect();
+    permute(&mut perm, 0, &mut |candidate| {
+        let order = TransmissionOrder::new(candidate.to_vec()).expect("permutation");
+        // Primary: risk; secondary: trusted sensors as late as possible
+        // (their late slots deny information at zero risk); tertiary:
+        // lexicographic for determinism.
+        let risk = exposure_risk(&order, widths, f, trusted);
+        let trust_earliness: usize = candidate
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| trusted.get(s).copied().unwrap_or(false))
+            .map(|(slot, _)| n - slot)
+            .sum();
+        let score = risk + trust_earliness as f64 * 1e-6;
+        let better = match &best {
+            None => true,
+            Some((b, bperm)) => {
+                score < *b - 1e-12 || ((score - *b).abs() <= 1e-12 && candidate < &bperm[..])
+            }
+        };
+        if better {
+            best = Some((score, candidate.to_vec()));
+        }
+    });
+    TransmissionOrder::new(best.expect("n >= 1").1).expect("permutation")
+}
+
+fn permute(items: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_attacker_first_slot_is_blind_and_passive() {
+        let order = TransmissionOrder::new(vec![0, 1, 2]).unwrap();
+        let report = exposure(&order, &[0], 1);
+        assert_eq!(report.slots.len(), 1);
+        let s = report.slots[0];
+        assert_eq!(s.correct_seen, 0);
+        assert_eq!(s.sent_before, 0);
+        assert_eq!(s.unsent_attacked, 1);
+        // threshold = 3 - 1 - 1 = 1 > 0 sent: passive.
+        assert!(!s.active_mode);
+        assert!(!report.fully_active());
+    }
+
+    #[test]
+    fn single_attacker_last_slot_is_fully_informed_and_active() {
+        let order = TransmissionOrder::new(vec![2, 1, 0]).unwrap();
+        let report = exposure(&order, &[0], 1);
+        let s = report.slots[0];
+        assert_eq!(s.correct_seen, 2);
+        assert!(s.active_mode);
+        assert!(report.fully_active());
+        assert!(report.consecutive);
+    }
+
+    #[test]
+    fn two_attackers_track_far_correctly() {
+        // n = 5, f = 2, attacked sensors 0 and 1 in the last two slots.
+        let order = TransmissionOrder::new(vec![4, 3, 2, 0, 1]).unwrap();
+        let report = exposure(&order, &[0, 1], 2);
+        assert_eq!(report.slots.len(), 2);
+        let first = report.slots[0];
+        let second = report.slots[1];
+        // First attacked slot: 3 sent, far = 2, threshold = 5-2-2 = 1.
+        assert_eq!(first.sent_before, 3);
+        assert_eq!(first.unsent_attacked, 2);
+        assert!(first.active_mode);
+        // Second: 4 sent, far = 1, threshold = 5-2-1 = 2.
+        assert_eq!(second.sent_before, 4);
+        assert_eq!(second.unsent_attacked, 1);
+        assert!(second.active_mode);
+        assert!(report.consecutive);
+    }
+
+    #[test]
+    fn ascending_start_is_passive_for_both_attackers() {
+        // n = 5, f = 2, attacked in the first two slots (Ascending with
+        // the two most precise compromised).
+        let order = TransmissionOrder::new(vec![0, 1, 2, 3, 4]).unwrap();
+        let report = exposure(&order, &[0, 1], 2);
+        let first = report.slots[0];
+        let second = report.slots[1];
+        // threshold for first: 5-2-2 = 1 > 0 sent: passive.
+        assert!(!first.active_mode);
+        // threshold for second: 5-2-1 = 2 > 1 sent: passive.
+        assert!(!second.active_mode);
+        assert_eq!(report.correct_seen_at_first(), 0);
+        assert_eq!(report.correct_seen_at_last(), 0);
+    }
+
+    #[test]
+    fn non_consecutive_slots_are_detected() {
+        let order = TransmissionOrder::new(vec![0, 2, 1, 3]).unwrap();
+        let report = exposure(&order, &[0, 1], 1);
+        assert!(!report.consecutive); // slots 0 and 2
+    }
+
+    #[test]
+    fn attacked_sensors_missing_from_order_are_ignored() {
+        let order = TransmissionOrder::identity(3);
+        let report = exposure(&order, &[9], 1);
+        assert!(report.slots.is_empty());
+        assert_eq!(report.correct_seen_at_first(), 0);
+        assert!(!report.fully_active());
+    }
+
+    #[test]
+    fn recommendation_is_ascending_without_trust() {
+        let order = recommend_order(&[5.0, 11.0, 17.0], 1, &[false; 3]);
+        assert_eq!(order.as_slice(), &[0, 1, 2]);
+        let order = recommend_order(&[17.0, 5.0, 11.0], 1, &[false; 3]);
+        assert_eq!(order.as_slice(), &[1, 2, 0]);
+    }
+
+    #[test]
+    fn trusted_sensors_are_scheduled_last() {
+        // A trusted precise sensor would normally go first; trust sends
+        // it to the back (deny its measurement to the attacker).
+        let order = recommend_order(&[0.2, 1.0, 2.0], 1, &[true, false, false]);
+        assert_eq!(*order.as_slice().last().unwrap(), 0);
+        // The untrusted rest stays in ascending width order.
+        assert_eq!(order.as_slice(), &[1, 2, 0]);
+    }
+
+    #[test]
+    fn all_trusted_degenerates_gracefully() {
+        let order = recommend_order(&[1.0, 2.0], 1, &[true, true]);
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn risk_score_prefers_precise_first() {
+        let widths = [0.2, 2.0];
+        let precise_first = TransmissionOrder::new(vec![0, 1]).unwrap();
+        let precise_last = TransmissionOrder::new(vec![1, 0]).unwrap();
+        let no_trust = [false, false];
+        assert!(
+            exposure_risk(&precise_first, &widths, 1, &no_trust)
+                < exposure_risk(&precise_last, &widths, 1, &no_trust)
+        );
+    }
+
+    #[test]
+    fn empty_recommendation() {
+        let order = recommend_order(&[], 0, &[]);
+        assert!(order.is_empty());
+    }
+
+    #[test]
+    fn mean_exposure_ranks_orders() {
+        // For single attacks the mean exposure is the same for any
+        // permutation (the attacker occupies each slot exactly once), so
+        // this metric distinguishes *which* sensor sits where instead via
+        // exposure(); the mean is (0+..+n-1)/n.
+        let id = TransmissionOrder::identity(5);
+        let rev = TransmissionOrder::new(vec![4, 3, 2, 1, 0]).unwrap();
+        assert_eq!(mean_exposure_single_attack(&id, 2), 2.0);
+        assert_eq!(mean_exposure_single_attack(&rev, 2), 2.0);
+        assert_eq!(mean_exposure_single_attack(&TransmissionOrder::identity(0), 1), 0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Schedule policies.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::TransmissionOrder;
+
+/// A policy mapping sensor interval widths to a transmission order.
+///
+/// Ties between equal widths are broken by sensor index, so Ascending and
+/// Descending are deterministic; [`SchedulePolicy::Random`] uses the
+/// supplied RNG and [`SchedulePolicy::Rotating`] uses the round counter.
+///
+/// # Example
+///
+/// ```
+/// use arsf_schedule::SchedulePolicy;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let widths = [1.0, 0.2, 0.2, 2.0]; // gps, enc, enc, camera
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let order = SchedulePolicy::Ascending.order(&widths, 0, &mut rng);
+/// assert_eq!(order.as_slice(), &[1, 2, 0, 3]); // encoders first
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SchedulePolicy {
+    /// Most precise (smallest width) sensors transmit first — the paper's
+    /// recommended schedule.
+    Ascending,
+    /// Least precise (largest width) sensors transmit first.
+    Descending,
+    /// A fresh uniformly-random order every round (the paper's "Random
+    /// schedule that changes transmission order in every step").
+    Random,
+    /// An explicit fixed order (validated when applied).
+    Fixed(TransmissionOrder),
+    /// A fixed base order rotated left by one slot every round.
+    Rotating(TransmissionOrder),
+}
+
+impl SchedulePolicy {
+    /// Produces the transmission order for one round.
+    ///
+    /// `widths[i]` is the interval width of sensor `i`; `round` is the
+    /// communication round counter (used by [`SchedulePolicy::Rotating`]);
+    /// `rng` is used by [`SchedulePolicy::Random`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`SchedulePolicy::Fixed`] or [`SchedulePolicy::Rotating`]
+    /// order's length does not match `widths.len()` — schedules are static
+    /// configuration, so a mismatch is a programming error.
+    pub fn order<R: Rng + ?Sized>(
+        &self,
+        widths: &[f64],
+        round: u64,
+        rng: &mut R,
+    ) -> TransmissionOrder {
+        let n = widths.len();
+        match self {
+            SchedulePolicy::Ascending => sort_by_width(widths, false),
+            SchedulePolicy::Descending => sort_by_width(widths, true),
+            SchedulePolicy::Random => {
+                let mut idx: Vec<usize> = (0..n).collect();
+                idx.shuffle(rng);
+                TransmissionOrder::new(idx).expect("a shuffle of 0..n is a permutation")
+            }
+            SchedulePolicy::Fixed(order) => {
+                assert_eq!(order.len(), n, "fixed order length must match sensor count");
+                order.clone()
+            }
+            SchedulePolicy::Rotating(base) => {
+                assert_eq!(base.len(), n, "rotating order length must match sensor count");
+                base.rotated((round % n.max(1) as u64) as usize)
+            }
+        }
+    }
+
+    /// A short name for reports and benchmark labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulePolicy::Ascending => "ascending",
+            SchedulePolicy::Descending => "descending",
+            SchedulePolicy::Random => "random",
+            SchedulePolicy::Fixed(_) => "fixed",
+            SchedulePolicy::Rotating(_) => "rotating",
+        }
+    }
+}
+
+fn sort_by_width(widths: &[f64], descending: bool) -> TransmissionOrder {
+    let mut idx: Vec<usize> = (0..widths.len()).collect();
+    idx.sort_by(|&a, &b| {
+        let cmp = widths[a]
+            .partial_cmp(&widths[b])
+            .expect("interval widths are finite");
+        let cmp = if descending { cmp.reverse() } else { cmp };
+        cmp.then(a.cmp(&b))
+    });
+    TransmissionOrder::new(idx).expect("a sort of 0..n is a permutation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn ascending_sorts_smallest_first() {
+        let order = SchedulePolicy::Ascending.order(&[5.0, 11.0, 17.0], 0, &mut rng());
+        assert_eq!(order.as_slice(), &[0, 1, 2]);
+        let order = SchedulePolicy::Ascending.order(&[17.0, 5.0, 11.0], 0, &mut rng());
+        assert_eq!(order.as_slice(), &[1, 2, 0]);
+    }
+
+    #[test]
+    fn descending_sorts_largest_first() {
+        let order = SchedulePolicy::Descending.order(&[5.0, 11.0, 17.0], 0, &mut rng());
+        assert_eq!(order.as_slice(), &[2, 1, 0]);
+    }
+
+    #[test]
+    fn ties_break_by_index_in_both_directions() {
+        let widths = [5.0, 5.0, 5.0, 14.0];
+        let asc = SchedulePolicy::Ascending.order(&widths, 0, &mut rng());
+        assert_eq!(asc.as_slice(), &[0, 1, 2, 3]);
+        let desc = SchedulePolicy::Descending.order(&widths, 0, &mut rng());
+        assert_eq!(desc.as_slice(), &[3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn random_is_a_permutation_and_varies() {
+        let widths = [1.0; 6];
+        let mut rng = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..20 {
+            let order = SchedulePolicy::Random.order(&widths, 0, &mut rng);
+            assert_eq!(order.len(), 6);
+            seen.insert(order.as_slice().to_vec());
+        }
+        assert!(seen.len() > 1, "20 shuffles of 6 items should differ");
+    }
+
+    #[test]
+    fn fixed_returns_the_given_order() {
+        let base = TransmissionOrder::new(vec![2, 0, 1]).unwrap();
+        let order = SchedulePolicy::Fixed(base.clone()).order(&[1.0, 2.0, 3.0], 9, &mut rng());
+        assert_eq!(order, base);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn fixed_length_mismatch_panics() {
+        let base = TransmissionOrder::new(vec![0, 1]).unwrap();
+        let _ = SchedulePolicy::Fixed(base).order(&[1.0, 2.0, 3.0], 0, &mut rng());
+    }
+
+    #[test]
+    fn rotating_advances_with_round() {
+        let base = TransmissionOrder::new(vec![0, 1, 2]).unwrap();
+        let policy = SchedulePolicy::Rotating(base);
+        let widths = [1.0, 2.0, 3.0];
+        assert_eq!(policy.order(&widths, 0, &mut rng()).as_slice(), &[0, 1, 2]);
+        assert_eq!(policy.order(&widths, 1, &mut rng()).as_slice(), &[1, 2, 0]);
+        assert_eq!(policy.order(&widths, 2, &mut rng()).as_slice(), &[2, 0, 1]);
+        assert_eq!(policy.order(&widths, 3, &mut rng()).as_slice(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SchedulePolicy::Ascending.name(), "ascending");
+        assert_eq!(SchedulePolicy::Descending.name(), "descending");
+        assert_eq!(SchedulePolicy::Random.name(), "random");
+    }
+
+    #[test]
+    fn empty_widths_yield_empty_order() {
+        let order = SchedulePolicy::Ascending.order(&[], 0, &mut rng());
+        assert!(order.is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! TDMA slot tables: mapping transmission orders onto bus time.
+
+use crate::TransmissionOrder;
+
+/// A time-division slot table: each sensor owns one fixed-duration slot
+/// per communication round, in the order given by a [`TransmissionOrder`].
+///
+/// Durations are in abstract *ticks* (the bus crate interprets them); the
+/// table only does arithmetic, keeping it independent of any clock.
+///
+/// # Example
+///
+/// ```
+/// use arsf_schedule::{slots::SlotTable, TransmissionOrder};
+///
+/// let order = TransmissionOrder::new(vec![2, 0, 1]).unwrap();
+/// let table = SlotTable::new(order, 10);
+/// assert_eq!(table.slot_start(0), 0);   // sensor 2's slot
+/// assert_eq!(table.slot_start(2), 20);  // sensor 1's slot
+/// assert_eq!(table.round_duration(), 30);
+/// assert_eq!(table.sensor_slot_start(1), Some(20));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SlotTable {
+    order: TransmissionOrder,
+    slot_ticks: u64,
+}
+
+impl SlotTable {
+    /// Creates a slot table with the given per-slot duration in ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_ticks == 0`; zero-length slots would collapse the
+    /// round into a single instant and break bus arbitration.
+    pub fn new(order: TransmissionOrder, slot_ticks: u64) -> Self {
+        assert!(slot_ticks > 0, "slot duration must be positive");
+        Self { order, slot_ticks }
+    }
+
+    /// The transmission order underlying this table.
+    pub fn order(&self) -> &TransmissionOrder {
+        &self.order
+    }
+
+    /// The per-slot duration in ticks.
+    pub fn slot_ticks(&self) -> u64 {
+        self.slot_ticks
+    }
+
+    /// The tick at which slot `slot` begins (relative to round start).
+    pub fn slot_start(&self, slot: usize) -> u64 {
+        slot as u64 * self.slot_ticks
+    }
+
+    /// The tick at which the given sensor's slot begins, or `None` when
+    /// the sensor is not scheduled.
+    pub fn sensor_slot_start(&self, sensor: usize) -> Option<u64> {
+        self.order.slot_of(sensor).map(|s| self.slot_start(s))
+    }
+
+    /// The total duration of one round in ticks.
+    pub fn round_duration(&self) -> u64 {
+        self.order.len() as u64 * self.slot_ticks
+    }
+
+    /// The slot index active at tick `t` (relative to round start), or
+    /// `None` when `t` is past the end of the round.
+    pub fn slot_at(&self, t: u64) -> Option<usize> {
+        if self.order.is_empty() || t >= self.round_duration() {
+            return None;
+        }
+        Some((t / self.slot_ticks) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SlotTable {
+        SlotTable::new(TransmissionOrder::new(vec![1, 0, 2]).unwrap(), 5)
+    }
+
+    #[test]
+    fn starts_and_duration() {
+        let t = table();
+        assert_eq!(t.slot_start(0), 0);
+        assert_eq!(t.slot_start(1), 5);
+        assert_eq!(t.slot_start(2), 10);
+        assert_eq!(t.round_duration(), 15);
+        assert_eq!(t.slot_ticks(), 5);
+    }
+
+    #[test]
+    fn sensor_lookup() {
+        let t = table();
+        assert_eq!(t.sensor_slot_start(1), Some(0));
+        assert_eq!(t.sensor_slot_start(0), Some(5));
+        assert_eq!(t.sensor_slot_start(7), None);
+    }
+
+    #[test]
+    fn slot_at_tick() {
+        let t = table();
+        assert_eq!(t.slot_at(0), Some(0));
+        assert_eq!(t.slot_at(4), Some(0));
+        assert_eq!(t.slot_at(5), Some(1));
+        assert_eq!(t.slot_at(14), Some(2));
+        assert_eq!(t.slot_at(15), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot duration must be positive")]
+    fn zero_slot_duration_panics() {
+        let _ = SlotTable::new(TransmissionOrder::identity(2), 0);
+    }
+
+    #[test]
+    fn empty_order_has_zero_duration() {
+        let t = SlotTable::new(TransmissionOrder::new(vec![]).unwrap(), 3);
+        assert_eq!(t.round_duration(), 0);
+        assert_eq!(t.slot_at(0), None);
+    }
+}

@@ -1,0 +1,77 @@
+//! Sensor measurements: value plus abstract interval.
+
+use arsf_interval::Interval;
+
+use crate::SensorId;
+
+/// One sensor reading: the raw measured value and the abstract interval
+/// constructed around it from the sensor's specification.
+///
+/// # Example
+///
+/// ```
+/// use arsf_interval::Interval;
+/// use arsf_sensor::{Measurement, SensorId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let m = Measurement::new(SensorId::new(2), 10.1, Interval::centered(10.1, 0.5)?);
+/// assert!(m.is_correct(10.0));
+/// assert!(!m.is_correct(11.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Measurement {
+    /// Which sensor produced this reading.
+    pub sensor: SensorId,
+    /// The raw measured value (the interval's centre).
+    pub value: f64,
+    /// The abstract interval guaranteed to contain the truth when the
+    /// sensor is correct.
+    pub interval: Interval<f64>,
+}
+
+impl Measurement {
+    /// Creates a measurement.
+    pub fn new(sensor: SensorId, value: f64, interval: Interval<f64>) -> Self {
+        Self {
+            sensor,
+            value,
+            interval,
+        }
+    }
+
+    /// Returns `true` when the interval contains the given true value —
+    /// the paper's definition of a *correct* sensor reading. Only
+    /// meaningful in simulation, where the truth is known.
+    pub fn is_correct(&self, truth: f64) -> bool {
+        self.interval.contains(truth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correctness_is_interval_membership() {
+        let m = Measurement::new(
+            SensorId::new(0),
+            5.0,
+            Interval::new(4.0, 6.0).unwrap(),
+        );
+        assert!(m.is_correct(4.0));
+        assert!(m.is_correct(6.0));
+        assert!(!m.is_correct(6.01));
+    }
+
+    #[test]
+    fn fields_round_trip() {
+        let iv = Interval::new(1.0, 3.0).unwrap();
+        let m = Measurement::new(SensorId::new(9), 2.0, iv);
+        assert_eq!(m.sensor, SensorId::new(9));
+        assert_eq!(m.value, 2.0);
+        assert_eq!(m.interval, iv);
+    }
+}

@@ -1,0 +1,258 @@
+//! Random faults in addition to attacks — the paper's Section V
+//! extension, quantified.
+//!
+//! The paper assumes uncompromised sensors are always correct and names
+//! random faults as future work; footnote 1 sketches the windowed
+//! detector that would tolerate them. This engine runs the full pipeline
+//! with **both** a transiently-faulty correct sensor and a stealthy
+//! attacker, and measures what actually breaks:
+//!
+//! * how often the fusion loses the true value (the paper's `fa ≤ f`
+//!   guarantee is void in rounds where fault + attack exceed `f`),
+//! * how often fusion fails outright (no point reaches coverage `n − f`,
+//!   which the controller can at least *detect*),
+//! * how the windowed detector trades detection of the faulty sensor
+//!   against false condemnations.
+
+use arsf_attack::strategies::PhantomOptimal;
+use arsf_attack::AttackerConfig;
+use arsf_core::{DetectionMode, FusionPipeline, PipelineConfig};
+use arsf_schedule::SchedulePolicy;
+use arsf_sensor::{FaultKind, FaultModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for one fault-plus-attack run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultAttackConfig {
+    /// Number of rounds.
+    pub rounds: u64,
+    /// The sensor that faults transiently.
+    pub faulty_sensor: usize,
+    /// Per-round fault probability.
+    pub fault_probability: f64,
+    /// Fault bias (mph) — far enough outside the error band to matter.
+    pub fault_offset: f64,
+    /// The compromised sensor, or `None` for the fault-only baseline.
+    pub attacked: Option<usize>,
+    /// Communication schedule.
+    pub schedule: SchedulePolicy,
+    /// Windowed-detector window length.
+    pub window: usize,
+    /// Windowed-detector tolerance (violations allowed per window).
+    pub tolerance: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FaultAttackConfig {
+    /// GPS faulting 10% of rounds by +3 mph, encoder 0 attacked,
+    /// Ascending schedule, a 20-round window tolerating 4 violations.
+    fn default() -> Self {
+        Self {
+            rounds: 2_000,
+            faulty_sensor: 2,
+            fault_probability: 0.1,
+            fault_offset: 3.0,
+            attacked: Some(0),
+            schedule: SchedulePolicy::Ascending,
+            window: 20,
+            tolerance: 4,
+            seed: 7,
+        }
+    }
+}
+
+/// What one fault-plus-attack run measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultAttackReport {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Rounds where the fused interval did **not** contain the truth.
+    pub truth_lost: u64,
+    /// Rounds where fusion failed entirely (`NoAgreement`).
+    pub fusion_failures: u64,
+    /// Rounds where the immediate overlap check flagged some sensor.
+    pub transient_flags: u64,
+    /// Round at which the faulty sensor was condemned (if it was).
+    pub faulty_condemned_at: Option<u64>,
+    /// Sensors other than the faulty one that ended up condemned
+    /// (false condemnations — the attacker stays stealthy, so any entry
+    /// here indicts the detector's tuning, not the attacker).
+    pub false_condemnations: u64,
+}
+
+/// Runs the engine.
+///
+/// # Panics
+///
+/// Panics if sensor indices exceed the LandShark suite (4 sensors) or the
+/// attacked sensor equals the faulty one (the threat model keeps them
+/// distinct: the attacker controls a *healthy* sensor).
+pub fn run(config: &FaultAttackConfig) -> FaultAttackReport {
+    assert!(config.faulty_sensor < 4, "LandShark has 4 sensors");
+    if let Some(a) = config.attacked {
+        assert!(a < 4, "LandShark has 4 sensors");
+        assert_ne!(a, config.faulty_sensor, "attacked sensor must be healthy");
+    }
+
+    let mut suite = arsf_sensor::suite::landshark();
+    suite.sensors_mut()[config.faulty_sensor] = suite.sensors()[config.faulty_sensor]
+        .clone()
+        .with_fault(FaultModel::new(
+            FaultKind::Bias {
+                offset: config.fault_offset,
+            },
+            config.fault_probability,
+        ));
+
+    let pipeline_config = PipelineConfig::new(1, config.schedule.clone()).with_detection(
+        DetectionMode::Windowed {
+            window: config.window,
+            tolerance: config.tolerance,
+        },
+    );
+    let builder = FusionPipeline::builder(suite).config(pipeline_config);
+    let mut pipeline = match config.attacked {
+        Some(sensor) => builder
+            .attacker(
+                AttackerConfig::new([sensor], 1),
+                Box::new(PhantomOptimal::new()),
+            )
+            .build(),
+        None => builder.build(),
+    };
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let truth = 10.0;
+    let mut report = FaultAttackReport {
+        rounds: config.rounds,
+        truth_lost: 0,
+        fusion_failures: 0,
+        transient_flags: 0,
+        faulty_condemned_at: None,
+        false_condemnations: 0,
+    };
+    let mut condemned_seen: Vec<usize> = Vec::new();
+    for round in 0..config.rounds {
+        let out = pipeline.run_round(truth, &mut rng);
+        match &out.fusion {
+            Ok(fused) => {
+                if !fused.contains(truth) {
+                    report.truth_lost += 1;
+                }
+            }
+            Err(_) => report.fusion_failures += 1,
+        }
+        if !out.flagged.is_empty() {
+            report.transient_flags += 1;
+        }
+        for &sensor in &out.condemned {
+            if !condemned_seen.contains(&sensor) {
+                condemned_seen.push(sensor);
+                if sensor == config.faulty_sensor {
+                    report.faulty_condemned_at = Some(round);
+                } else {
+                    report.false_condemnations += 1;
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(fault_probability: f64, tolerance: usize) -> FaultAttackConfig {
+        FaultAttackConfig {
+            rounds: 600,
+            fault_probability,
+            tolerance,
+            ..FaultAttackConfig::default()
+        }
+    }
+
+    #[test]
+    fn rare_faults_survive_a_tolerant_window() {
+        let report = run(&quick(0.05, 6));
+        assert_eq!(report.faulty_condemned_at, None, "5% faults fit 6-in-20");
+        assert_eq!(report.false_condemnations, 0);
+        assert_eq!(report.fusion_failures, 0);
+    }
+
+    #[test]
+    fn persistent_faults_are_condemned_quickly() {
+        let report = run(&quick(0.9, 4));
+        let at = report
+            .faulty_condemned_at
+            .expect("90% fault rate must be condemned");
+        assert!(at < 20, "condemned within the first window, got {at}");
+        assert_eq!(report.false_condemnations, 0);
+    }
+
+    #[test]
+    fn over_budget_rounds_are_loud_and_truth_loss_stays_rare() {
+        // f = 1 but fault + attack make 2 misbehaving sensors in some
+        // rounds: the paper's guarantee is void. What the engine shows:
+        // the blatant fault keeps the overlap check firing (the system is
+        // not blind), the faulty sensor is condemned, and even then the
+        // conservative stealthy attacker rarely manages to push the truth
+        // out of the fusion interval (her forgery must stay anchored to
+        // evidence she cannot distinguish from the truth).
+        let report = run(&FaultAttackConfig {
+            rounds: 2_000,
+            fault_probability: 0.5,
+            schedule: SchedulePolicy::Descending,
+            ..FaultAttackConfig::default()
+        });
+        assert!(report.transient_flags > 200, "the fault must be noticed");
+        assert!(report.faulty_condemned_at.is_some());
+        assert_eq!(report.false_condemnations, 0);
+        assert!(
+            report.truth_lost < report.rounds / 20,
+            "silent truth loss must stay rare: {} of {}",
+            report.truth_lost,
+            report.rounds
+        );
+    }
+
+    #[test]
+    fn ascending_neutralises_the_attacker_even_with_faults() {
+        // The schedule result extends: under Ascending the fault is the
+        // only misbehaviour, so the fault budget f = 1 always covers it.
+        let report = run(&FaultAttackConfig {
+            rounds: 1_000,
+            fault_probability: 0.5,
+            schedule: SchedulePolicy::Ascending,
+            ..FaultAttackConfig::default()
+        });
+        assert_eq!(report.truth_lost, 0);
+        assert_eq!(report.fusion_failures, 0);
+    }
+
+    #[test]
+    fn fault_only_baseline_never_loses_truth() {
+        // Without the attacker, a single fault stays within f = 1 and the
+        // fusion always contains the truth.
+        let report = run(&FaultAttackConfig {
+            attacked: None,
+            fault_probability: 0.3,
+            rounds: 800,
+            ..FaultAttackConfig::default()
+        });
+        assert_eq!(report.truth_lost, 0);
+        assert_eq!(report.fusion_failures, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "attacked sensor must be healthy")]
+    fn attacked_equals_faulty_panics() {
+        let _ = run(&FaultAttackConfig {
+            attacked: Some(2),
+            faulty_sensor: 2,
+            ..FaultAttackConfig::default()
+        });
+    }
+}

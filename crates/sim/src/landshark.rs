@@ -1,0 +1,390 @@
+//! The LandShark: one autonomous vehicle with the case study's sensor
+//! suite, fusion pipeline, PI speed controller and safety supervisor.
+
+use arsf_attack::strategies::PhantomOptimal;
+use arsf_attack::AttackerConfig;
+use arsf_core::{FusionPipeline, PipelineConfig, RoundOutcome};
+use arsf_fusion::historical::{DynamicsBound, HistoricalFuser};
+use arsf_interval::Interval;
+use arsf_schedule::SchedulePolicy;
+use arsf_sensor::SensorSuite;
+use rand::Rng;
+
+use crate::controller::PiController;
+use crate::supervisor::{Supervisor, SupervisorAction};
+use crate::vehicle::{Vehicle, VehicleParams};
+
+/// Which sensors the attacker controls during a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AttackSelection {
+    /// No attacker (honest baseline).
+    None,
+    /// A fixed compromised set for the whole run.
+    Fixed(Vec<usize>),
+    /// One compromised sensor re-drawn uniformly every round — the case
+    /// study's "any sensor can be attacked" assumption.
+    RandomEachRound,
+}
+
+/// Configuration of a single LandShark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LandSharkConfig {
+    /// Target speed `v` in mph.
+    pub target_speed: f64,
+    /// Upper envelope half-width `δ1`.
+    pub delta_up: f64,
+    /// Lower envelope half-width `δ2`.
+    pub delta_down: f64,
+    /// Communication schedule.
+    pub schedule: SchedulePolicy,
+    /// Fusion fault assumption.
+    pub f: usize,
+    /// Control period in seconds.
+    pub dt: f64,
+    /// Attacker model.
+    pub attack: AttackSelection,
+    /// Vehicle parameters.
+    pub vehicle: VehicleParams,
+    /// Optional dynamics-aware historical fusion (the follow-up defence):
+    /// the supervisor vets the fusion interval refined by the previous
+    /// round's interval propagated through this rate bound.
+    pub history: Option<DynamicsBound>,
+}
+
+impl LandSharkConfig {
+    /// The case study's configuration: `v` mph target, `δ1 = δ2 = 0.5`,
+    /// `f = 1`, 100 ms control period, no attacker.
+    pub fn new(target_speed: f64, schedule: SchedulePolicy) -> Self {
+        Self {
+            target_speed,
+            delta_up: 0.5,
+            delta_down: 0.5,
+            schedule,
+            f: 1,
+            dt: 0.1,
+            attack: AttackSelection::None,
+            vehicle: VehicleParams::default(),
+            history: None,
+        }
+    }
+
+    /// Sets the attacker model (builder style).
+    #[must_use]
+    pub fn with_attack(mut self, attack: AttackSelection) -> Self {
+        self.attack = attack;
+        self
+    }
+
+    /// Enables dynamics-aware historical fusion with the given rate bound
+    /// (builder style).
+    #[must_use]
+    pub fn with_history(mut self, bound: DynamicsBound) -> Self {
+        self.history = Some(bound);
+        self
+    }
+}
+
+/// One simulation step's record.
+#[derive(Debug)]
+pub struct StepRecord {
+    /// True speed at sampling time.
+    pub true_speed: f64,
+    /// The fused interval (when fusion succeeded).
+    pub fusion: Option<Interval<f64>>,
+    /// The supervisor's decision.
+    pub action: SupervisorAction,
+    /// Sensors flagged by detection this round.
+    pub flagged: Vec<usize>,
+    /// Which sensor was compromised this round, if any.
+    pub attacked: Option<usize>,
+}
+
+/// A LandShark instance: vehicle + sensors + fusion + control.
+#[derive(Debug)]
+pub struct LandShark {
+    config: LandSharkConfig,
+    suite: SensorSuite,
+    vehicle: Vehicle,
+    pi: PiController,
+    supervisor: Supervisor,
+    historical: Option<HistoricalFuser>,
+    round: u64,
+}
+
+impl LandShark {
+    /// Creates a LandShark already cruising at the target speed (the
+    /// platoon scenario starts mid-mission).
+    pub fn new(config: LandSharkConfig) -> Self {
+        let vehicle = Vehicle::with_speed(config.vehicle, config.target_speed);
+        let pi = PiController::new(
+            3.0,
+            0.8,
+            config.vehicle.max_accel,
+            config.vehicle.max_brake,
+        );
+        let supervisor = Supervisor::new(config.target_speed, config.delta_up, config.delta_down);
+        let historical = config
+            .history
+            .map(|bound| HistoricalFuser::new(config.f, bound, config.dt));
+        Self {
+            config,
+            suite: arsf_sensor::suite::landshark(),
+            vehicle,
+            pi,
+            supervisor,
+            historical,
+            round: 0,
+        }
+    }
+
+    /// Current true speed (mph).
+    pub fn speed(&self) -> f64 {
+        self.vehicle.speed()
+    }
+
+    /// Travelled distance (miles).
+    pub fn position(&self) -> f64 {
+        self.vehicle.position()
+    }
+
+    /// The safety supervisor (violation statistics).
+    pub fn supervisor(&self) -> &Supervisor {
+        &self.supervisor
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LandSharkConfig {
+        &self.config
+    }
+
+    /// Completed rounds.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// Runs one control period: sample sensors at the true speed, run the
+    /// scheduled fusion round (with the attacker, if any), let the
+    /// supervisor vet the fusion interval, and actuate.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> StepRecord {
+        let truth = self.vehicle.speed();
+        let attacked: Option<usize> = match &self.config.attack {
+            AttackSelection::None => None,
+            AttackSelection::Fixed(set) => set.first().copied(),
+            AttackSelection::RandomEachRound => Some(rng.gen_range(0..self.suite.len())),
+        };
+        let outcome = self.run_fusion_round(truth, attacked, rng);
+
+        // Optional historical refinement: intersect the round's fusion
+        // with the previous round's interval propagated by the dynamics
+        // bound (clips forged extensions).
+        let vetted: Result<Interval<f64>, _> = match (&mut self.historical, &outcome.fusion) {
+            (Some(fuser), Ok(_)) => {
+                let intervals: Vec<Interval<f64>> =
+                    outcome.transmitted.iter().map(|(_, iv)| *iv).collect();
+                fuser.fuse_round(&intervals).map(|out| out.fused)
+            }
+            _ => outcome.fusion.clone(),
+        };
+
+        let (action, estimate) = match &vetted {
+            Ok(fused) => (self.supervisor.check(fused), fused.midpoint()),
+            // Fusion failure certifies over-budget faults; treat as a
+            // brake-preempt with the last known-good estimate (target).
+            Err(_) => (SupervisorAction::PreemptBrake, self.config.target_speed),
+        };
+
+        // Preemption overrides the actuator for this period but leaves the
+        // PI state intact: the supervisor guards against *uncertainty*,
+        // not against the controller, and wiping the integral would let
+        // drag drag the platoon's speed down between preemptions.
+        let accel = match action {
+            SupervisorAction::Nominal => {
+                self.pi
+                    .update(self.config.target_speed, estimate, self.config.dt)
+            }
+            SupervisorAction::PreemptBrake | SupervisorAction::PreemptBoth => {
+                -self.config.vehicle.max_brake * 0.25
+            }
+            SupervisorAction::PreemptAccelerate => self.config.vehicle.max_accel * 0.25,
+        };
+        self.vehicle.step(accel, self.config.dt, rng);
+        self.round += 1;
+
+        StepRecord {
+            true_speed: truth,
+            fusion: vetted.ok(),
+            action,
+            flagged: outcome.flagged,
+            attacked,
+        }
+    }
+
+    fn run_fusion_round<R: Rng + ?Sized>(
+        &mut self,
+        truth: f64,
+        attacked: Option<usize>,
+        rng: &mut R,
+    ) -> RoundOutcome {
+        // The pipeline is rebuilt per round because the compromised set
+        // may change every round (the case study's threat model); suites
+        // are tiny, so this costs a few allocations.
+        let builder = FusionPipeline::builder(self.suite.clone()).config(
+            PipelineConfig::new(self.config.f, self.config.schedule.clone()),
+        );
+        let mut pipeline = match (&self.config.attack, attacked) {
+            (AttackSelection::None, _) | (_, None) => builder.build(),
+            (AttackSelection::Fixed(set), _) => builder
+                .attacker(
+                    AttackerConfig::new(set.iter().copied(), self.config.f),
+                    Box::new(PhantomOptimal::new()),
+                )
+                .build(),
+            (AttackSelection::RandomEachRound, Some(sensor)) => builder
+                .attacker(
+                    AttackerConfig::new([sensor], self.config.f),
+                    Box::new(PhantomOptimal::new()),
+                )
+                .build(),
+        };
+        pipeline.run_round_at(truth, self.round, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn honest_shark_holds_speed_without_violations() {
+        let mut rng = rng();
+        let mut shark = LandShark::new(LandSharkConfig::new(10.0, SchedulePolicy::Ascending));
+        for _ in 0..200 {
+            let rec = shark.step(&mut rng);
+            assert!(rec.flagged.is_empty());
+            assert_eq!(rec.attacked, None);
+        }
+        assert!((shark.speed() - 10.0).abs() < 0.5, "speed {}", shark.speed());
+        assert_eq!(shark.supervisor().upper_violations(), 0);
+        assert_eq!(shark.supervisor().lower_violations(), 0);
+        assert_eq!(shark.rounds(), 200);
+    }
+
+    #[test]
+    fn ascending_with_attacked_encoder_never_violates() {
+        // The paper's headline: under Ascending the most precise sensor
+        // transmits first and a single attacker gains nothing.
+        let mut rng = rng();
+        let config = LandSharkConfig::new(10.0, SchedulePolicy::Ascending)
+            .with_attack(AttackSelection::Fixed(vec![0]));
+        let mut shark = LandShark::new(config);
+        for _ in 0..300 {
+            let rec = shark.step(&mut rng);
+            assert!(rec.flagged.is_empty(), "stealthy attacker flagged");
+        }
+        assert_eq!(shark.supervisor().upper_violations(), 0);
+        assert_eq!(shark.supervisor().lower_violations(), 0);
+    }
+
+    #[test]
+    fn descending_with_attacked_encoder_violates_sometimes() {
+        let mut rng = rng();
+        let config = LandSharkConfig::new(10.0, SchedulePolicy::Descending)
+            .with_attack(AttackSelection::Fixed(vec![0]));
+        let mut shark = LandShark::new(config);
+        for _ in 0..300 {
+            shark.step(&mut rng);
+        }
+        let total =
+            shark.supervisor().upper_violations() + shark.supervisor().lower_violations();
+        assert!(
+            total > 0,
+            "a fully-informed attacker on the precise sensor must cause violations"
+        );
+    }
+
+    #[test]
+    fn supervisor_preemption_reacts_to_violations() {
+        let mut rng = rng();
+        let config = LandSharkConfig::new(10.0, SchedulePolicy::Descending)
+            .with_attack(AttackSelection::Fixed(vec![0]));
+        let mut shark = LandShark::new(config);
+        let mut preempted = 0;
+        for _ in 0..300 {
+            let rec = shark.step(&mut rng);
+            if rec.action != SupervisorAction::Nominal {
+                preempted += 1;
+            }
+        }
+        assert!(preempted > 0);
+        // Despite the attack the vehicle remains roughly at speed: the
+        // supervisor acts on uncertainty, not on a wrong point estimate.
+        assert!((shark.speed() - 10.0).abs() < 2.0, "speed {}", shark.speed());
+    }
+
+    #[test]
+    fn historical_fusion_reduces_descending_violations() {
+        // The follow-up defence: dynamics-aware history clips forged
+        // extensions, cutting violation rates under the worst schedule.
+        let rounds = 800;
+        let run = |history: Option<DynamicsBound>| {
+            let mut rng = StdRng::seed_from_u64(51);
+            let mut config = LandSharkConfig::new(10.0, SchedulePolicy::Descending)
+                .with_attack(AttackSelection::Fixed(vec![0]));
+            if let Some(bound) = history {
+                config = config.with_history(bound);
+            }
+            let mut shark = LandShark::new(config);
+            for _ in 0..rounds {
+                shark.step(&mut rng);
+            }
+            shark.supervisor().upper_violations() + shark.supervisor().lower_violations()
+        };
+        let without = run(None);
+        let with = run(Some(DynamicsBound::new(3.5)));
+        assert!(
+            (with as f64) < without as f64 * 0.75,
+            "history must cut violations by at least a quarter: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn historical_fusion_never_loses_the_truth() {
+        let mut rng = rng();
+        let config = LandSharkConfig::new(10.0, SchedulePolicy::Descending)
+            .with_attack(AttackSelection::RandomEachRound)
+            .with_history(DynamicsBound::new(3.5));
+        let mut shark = LandShark::new(config);
+        for _ in 0..400 {
+            let rec = shark.step(&mut rng);
+            if let Some(fused) = rec.fusion {
+                assert!(
+                    fused.contains(rec.true_speed),
+                    "refined interval {fused} lost the truth {}",
+                    rec.true_speed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_attack_selection_varies_by_round() {
+        let mut rng = rng();
+        let config = LandSharkConfig::new(10.0, SchedulePolicy::Random)
+            .with_attack(AttackSelection::RandomEachRound);
+        let mut shark = LandShark::new(config);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            if let Some(a) = shark.step(&mut rng).attacked {
+                seen.insert(a);
+            }
+        }
+        assert!(seen.len() >= 3, "random selection should cover sensors: {seen:?}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Autonomous-vehicle simulation for the DATE'14 case study and the
+//! paper's experiment engines.
+//!
+//! The paper evaluates its schedule recommendation two ways; both are
+//! reproduced by this crate:
+//!
+//! * **Table I** — exact expected fusion-interval widths under the
+//!   Ascending vs Descending schedules, computed by exhaustive grid
+//!   enumeration with an expectimax attacker ([`table1`]),
+//! * **Table II** — a case study with LandShark unmanned ground vehicles
+//!   in a platoon holding 10 mph, counting rounds whose fusion interval
+//!   escapes the `[9.5, 10.5]` mph safety envelope under the Ascending /
+//!   Descending / Random schedules ([`table2`]).
+//!
+//! Supporting substrates: a longitudinal vehicle model ([`vehicle`]), a
+//! PI speed controller ([`controller`]), the fusion-bound safety
+//! supervisor ([`supervisor`]), the single-vehicle LandShark assembly
+//! ([`landshark`]) and the three-vehicle platoon ([`platoon`]).
+//!
+//! # Example
+//!
+//! ```
+//! use arsf_sim::landshark::{LandShark, LandSharkConfig};
+//! use arsf_schedule::SchedulePolicy;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut shark = LandShark::new(LandSharkConfig::new(10.0, SchedulePolicy::Ascending));
+//! for _ in 0..50 {
+//!     shark.step(&mut rng);
+//! }
+//! // The controller holds the target speed within the safety envelope.
+//! assert!((shark.speed() - 10.0).abs() < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod faults;
+pub mod landshark;
+pub mod platoon;
+pub mod supervisor;
+pub mod table1;
+pub mod table2;
+pub mod vehicle;

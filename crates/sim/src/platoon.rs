@@ -1,0 +1,143 @@
+//! The three-LandShark platoon from the case study.
+//!
+//! "Three LandSharks in a platoon moving away from enemy territory. The
+//! leader sets a speed target `v` mph for all three vehicles"; keeping
+//! every vehicle's speed inside `[v − δ2, v + δ1]` prevents both
+//! rear-end collisions within the platoon and the leader outrunning its
+//! ability to stop.
+
+use rand::Rng;
+
+use crate::landshark::{LandShark, LandSharkConfig, StepRecord};
+
+/// A column of LandSharks sharing one speed target.
+#[derive(Debug)]
+pub struct Platoon {
+    sharks: Vec<LandShark>,
+    start_offsets: Vec<f64>,
+    min_gap: f64,
+    initial_gap: f64,
+}
+
+impl Platoon {
+    /// Creates a platoon of `size` vehicles with `gap_miles` initial
+    /// spacing, each configured by `config` (cloned per vehicle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0` or `gap_miles` is not positive.
+    pub fn new(size: usize, gap_miles: f64, config: LandSharkConfig) -> Self {
+        assert!(size > 0, "a platoon needs at least one vehicle");
+        assert!(
+            gap_miles > 0.0 && gap_miles.is_finite(),
+            "initial gap must be positive"
+        );
+        let sharks = (0..size)
+            .map(|_| LandShark::new(config.clone()))
+            .collect();
+        let start_offsets = (0..size).map(|i| -(i as f64) * gap_miles).collect();
+        Self {
+            sharks,
+            start_offsets,
+            min_gap: gap_miles,
+            initial_gap: gap_miles,
+        }
+    }
+
+    /// The vehicles, leader first.
+    pub fn sharks(&self) -> &[LandShark] {
+        &self.sharks
+    }
+
+    /// The smallest inter-vehicle gap observed so far (miles).
+    pub fn min_gap(&self) -> f64 {
+        self.min_gap
+    }
+
+    /// Whether any two consecutive vehicles have collided (gap ≤ 0).
+    pub fn collided(&self) -> bool {
+        self.min_gap <= 0.0
+    }
+
+    /// Advances every vehicle by one control period and updates the gap
+    /// statistics. Returns the per-vehicle step records, leader first.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<StepRecord> {
+        let records: Vec<StepRecord> =
+            self.sharks.iter_mut().map(|s| s.step(rng)).collect();
+        for i in 1..self.sharks.len() {
+            let ahead = self.sharks[i - 1].position() + self.start_offsets[i - 1];
+            let behind = self.sharks[i].position() + self.start_offsets[i];
+            let gap = ahead - behind;
+            if gap < self.min_gap {
+                self.min_gap = gap;
+            }
+        }
+        records
+    }
+
+    /// The configured initial gap (miles).
+    pub fn initial_gap(&self) -> f64 {
+        self.initial_gap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::landshark::AttackSelection;
+    use arsf_schedule::SchedulePolicy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn honest_platoon_keeps_formation() {
+        let mut rng = rng();
+        let config = LandSharkConfig::new(10.0, SchedulePolicy::Ascending);
+        let mut platoon = Platoon::new(3, 0.01, config);
+        for _ in 0..300 {
+            platoon.step(&mut rng);
+        }
+        assert!(!platoon.collided());
+        // Gaps cannot shrink much when everyone holds the same speed.
+        assert!(
+            platoon.min_gap() > 0.5 * platoon.initial_gap(),
+            "min gap {} vs initial {}",
+            platoon.min_gap(),
+            platoon.initial_gap()
+        );
+    }
+
+    #[test]
+    fn attacked_ascending_platoon_stays_safe() {
+        let mut rng = rng();
+        let config = LandSharkConfig::new(10.0, SchedulePolicy::Ascending)
+            .with_attack(AttackSelection::RandomEachRound);
+        let mut platoon = Platoon::new(3, 0.01, config);
+        for _ in 0..300 {
+            platoon.step(&mut rng);
+        }
+        assert!(!platoon.collided());
+        let violations: u64 = platoon
+            .sharks()
+            .iter()
+            .map(|s| s.supervisor().upper_violations() + s.supervisor().lower_violations())
+            .sum();
+        assert_eq!(violations, 0, "ascending neutralises single attackers");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vehicle")]
+    fn empty_platoon_panics() {
+        let _ = Platoon::new(0, 0.01, LandSharkConfig::new(10.0, SchedulePolicy::Ascending));
+    }
+
+    #[test]
+    #[should_panic(expected = "gap must be positive")]
+    fn nonpositive_gap_panics() {
+        let _ = Platoon::new(2, 0.0, LandSharkConfig::new(10.0, SchedulePolicy::Ascending));
+    }
+}

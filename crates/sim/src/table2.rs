@@ -1,0 +1,154 @@
+//! The Table II experiment engine: safety-envelope violation rates in the
+//! LandShark case study.
+//!
+//! Setup (paper Section IV-B): desired speed `v = 10` mph,
+//! `δ1 = δ2 = 0.5` mph, four speed sensors (two encoders at 0.2 mph, GPS
+//! at 1 mph, camera at 2 mph), fusion with `f = 1`, at most one sensor
+//! attacked at any time and "any sensor can be attacked" — modelled as a
+//! uniformly random compromised sensor each round. For each schedule the
+//! engine reports the fraction of rounds whose fusion interval exceeded
+//! 10.5 mph (row 1) or dropped below 9.5 mph (row 2).
+
+use arsf_schedule::SchedulePolicy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::landshark::{AttackSelection, LandShark, LandSharkConfig};
+
+/// Configuration for a Table II run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Config {
+    /// Number of control rounds per schedule.
+    pub rounds: u64,
+    /// Target speed `v` (mph).
+    pub target: f64,
+    /// Upper envelope half-width `δ1`.
+    pub delta_up: f64,
+    /// Lower envelope half-width `δ2`.
+    pub delta_down: f64,
+    /// RNG seed (each schedule derives its own stream from it).
+    pub seed: u64,
+}
+
+impl Default for Table2Config {
+    /// The paper's parameters with 20 000 rounds.
+    fn default() -> Self {
+        Self {
+            rounds: 20_000,
+            target: 10.0,
+            delta_up: 0.5,
+            delta_down: 0.5,
+            seed: 20140324,
+        }
+    }
+}
+
+/// One Table II cell pair: violation rates for a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// The schedule's name.
+    pub schedule: String,
+    /// Fraction of rounds with fusion upper bound `> v + δ1`.
+    pub above: f64,
+    /// Fraction of rounds with fusion lower bound `< v − δ2`.
+    pub below: f64,
+}
+
+/// Runs one schedule for [`Table2Config::rounds`] control periods and
+/// returns its violation rates.
+pub fn run_schedule(policy: SchedulePolicy, config: &Table2Config) -> Table2Row {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ hash_name(policy.name()));
+    let shark_config = LandSharkConfig {
+        target_speed: config.target,
+        delta_up: config.delta_up,
+        delta_down: config.delta_down,
+        schedule: policy.clone(),
+        f: 1,
+        dt: 0.1,
+        attack: AttackSelection::RandomEachRound,
+        vehicle: crate::vehicle::VehicleParams::default(),
+        history: None,
+    };
+    let mut shark = LandShark::new(shark_config);
+    for _ in 0..config.rounds {
+        shark.step(&mut rng);
+    }
+    Table2Row {
+        schedule: policy.name().to_string(),
+        above: shark.supervisor().upper_rate(),
+        below: shark.supervisor().lower_rate(),
+    }
+}
+
+/// Runs the three schedules the paper compares (Ascending, Descending,
+/// Random) and returns their rows in that order.
+pub fn run_all(config: &Table2Config) -> Vec<Table2Row> {
+    vec![
+        run_schedule(SchedulePolicy::Ascending, config),
+        run_schedule(SchedulePolicy::Descending, config),
+        run_schedule(SchedulePolicy::Random, config),
+    ]
+}
+
+fn hash_name(name: &str) -> u64 {
+    // Tiny FNV-1a so each schedule gets a distinct deterministic stream.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Table2Config {
+        Table2Config {
+            rounds: 1500,
+            ..Table2Config::default()
+        }
+    }
+
+    #[test]
+    fn ascending_has_zero_violations() {
+        let row = run_schedule(SchedulePolicy::Ascending, &quick());
+        assert_eq!(row.above, 0.0, "paper: 0% above under Ascending");
+        assert_eq!(row.below, 0.0, "paper: 0% below under Ascending");
+    }
+
+    #[test]
+    fn descending_violates_substantially() {
+        let row = run_schedule(SchedulePolicy::Descending, &quick());
+        assert!(
+            row.above > 0.02,
+            "descending must show above-violations, got {}",
+            row.above
+        );
+        assert!(
+            row.below > 0.02,
+            "descending must show below-violations, got {}",
+            row.below
+        );
+    }
+
+    #[test]
+    fn random_sits_between_ascending_and_descending() {
+        let config = quick();
+        let asc = run_schedule(SchedulePolicy::Ascending, &config);
+        let desc = run_schedule(SchedulePolicy::Descending, &config);
+        let rand = run_schedule(SchedulePolicy::Random, &config);
+        let total = |r: &Table2Row| r.above + r.below;
+        assert!(total(&asc) <= total(&rand));
+        assert!(total(&rand) <= total(&desc));
+        assert!(total(&rand) > 0.0, "random must show some violations");
+    }
+
+    #[test]
+    fn run_all_returns_three_labelled_rows() {
+        let rows = run_all(&quick());
+        let names: Vec<&str> = rows.iter().map(|r| r.schedule.as_str()).collect();
+        assert_eq!(names, vec!["ascending", "descending", "random"]);
+    }
+}

@@ -1,0 +1,63 @@
+//! The paper's Section V extension: random faults in addition to attacks,
+//! handled by the sliding-window detector of footnote 1 (a sensor may
+//! fault transiently without being discarded as compromised).
+//!
+//! Run with: `cargo run --example fault_injection`
+
+use arsf::prelude::*;
+use arsf::sensor::{FaultKind, FaultModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // LandShark suite; the GPS occasionally glitches (20% of rounds it
+    // reports 3 mph high — outside its error band).
+    let mut suite = arsf::sensor::suite::landshark();
+    suite.sensors_mut()[2] = suite.sensors()[2]
+        .clone()
+        .with_fault(FaultModel::new(FaultKind::Bias { offset: 3.0 }, 0.2));
+
+    // Windowed detection: condemn only when > 6 violations in 20 rounds.
+    let mut pipeline = FusionPipeline::builder(suite)
+        .config(
+            PipelineConfig::new(1, SchedulePolicy::Ascending).with_detection(
+                DetectionMode::Windowed {
+                    window: 20,
+                    tolerance: 6,
+                },
+            ),
+        )
+        .build();
+
+    let mut transient_flags = 0u64;
+    let mut condemned_round = None;
+    for round in 0..200 {
+        let outcome = pipeline.run_round(10.0, &mut rng);
+        if !outcome.flagged.is_empty() {
+            transient_flags += 1;
+        }
+        if condemned_round.is_none() && outcome.condemned.contains(&2) {
+            condemned_round = Some(round);
+        }
+        if round < 10 {
+            println!(
+                "round {round:>3}: fusion {:?} flagged {:?} condemned {:?}",
+                outcome.fusion.as_ref().map(|s| format!("{s}")),
+                outcome.flagged,
+                outcome.condemned
+            );
+        }
+    }
+
+    println!("\nrounds with a transient flag: {transient_flags} / 200");
+    match condemned_round {
+        Some(r) => println!(
+            "GPS condemned at round {r}: its violation rate exceeded the 6-in-20 window budget"
+        ),
+        None => println!("GPS survived: its fault rate stayed within the window budget"),
+    }
+    println!("\nThe window turns the paper's hard overlap check into a rate");
+    println!("test: single glitches pass, persistent misbehaviour is caught.");
+}

@@ -1,0 +1,59 @@
+//! The case study: a three-LandShark platoon holding 10 mph while an
+//! attacker compromises one (random) sensor per round — comparing the
+//! Ascending, Descending and Random communication schedules.
+//!
+//! Run with: `cargo run --release --example landshark_platoon`
+
+use arsf::prelude::*;
+use arsf::sim::landshark::{AttackSelection, LandSharkConfig};
+use arsf::sim::platoon::Platoon;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let rounds = 2_000;
+    println!("three-LandShark platoon, v = 10 mph, envelope [9.5, 10.5] mph");
+    println!("one random sensor compromised per round, {rounds} rounds\n");
+    println!(
+        "{:<12} {:>14} {:>14} {:>10} {:>12}",
+        "schedule", "above 10.5", "below 9.5", "preempts", "min gap (mi)"
+    );
+
+    for policy in [
+        SchedulePolicy::Ascending,
+        SchedulePolicy::Descending,
+        SchedulePolicy::Random,
+    ] {
+        let mut rng = StdRng::seed_from_u64(0xDA7E_2014);
+        let config = LandSharkConfig::new(10.0, policy.clone())
+            .with_attack(AttackSelection::RandomEachRound);
+        let mut platoon = Platoon::new(3, 0.01, config);
+        let mut preempts = 0u64;
+        for _ in 0..rounds {
+            for record in platoon.step(&mut rng) {
+                if record.action != arsf::sim::supervisor::SupervisorAction::Nominal {
+                    preempts += 1;
+                }
+            }
+        }
+        let (mut above, mut below, mut checked) = (0u64, 0u64, 0u64);
+        for shark in platoon.sharks() {
+            above += shark.supervisor().upper_violations();
+            below += shark.supervisor().lower_violations();
+            checked += shark.supervisor().rounds();
+        }
+        println!(
+            "{:<12} {:>13.2}% {:>13.2}% {:>10} {:>12.4}",
+            policy.name(),
+            100.0 * above as f64 / checked as f64,
+            100.0 * below as f64 / checked as f64,
+            preempts,
+            platoon.min_gap()
+        );
+        assert!(!platoon.collided(), "supervisor must prevent collisions");
+    }
+
+    println!("\nAscending keeps the platoon's fusion intervals inside the");
+    println!("envelope: an attacker on a precise sensor is forced to commit");
+    println!("before seeing anything (paper, Table II).");
+}

@@ -1,0 +1,92 @@
+//! # arsf — Attack-Resilient Sensor Fusion
+//!
+//! A Rust reproduction of Ivanov, Pajic & Lee, **"Attack-Resilient Sensor
+//! Fusion"**, DATE 2014 ([DOI 10.7873/DATE.2014.067][doi]): Marzullo
+//! interval fusion under adversarial sensors, stealthy attack policies,
+//! communication-schedule analysis, and the LandShark autonomous-vehicle
+//! case study.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`interval`] | `arsf-interval` | closed intervals, *k*-coverage sweep, ASCII diagrams |
+//! | [`sensor`] | `arsf-sensor` | abstract sensors, bounded noise, faults, LandShark suite |
+//! | [`fusion`] | `arsf-fusion` | Marzullo fusion, Brooks–Iyengar, bounds (Thm 2) |
+//! | [`detect`] | `arsf-detect` | overlap detection, sliding-window fault model |
+//! | [`schedule`] | `arsf-schedule` | Ascending/Descending/Random schedules, exposure analysis |
+//! | [`attack`] | `arsf-attack` | optimal/expectimax/streaming attackers, worst cases (Thms 3–4) |
+//! | [`bus`] | `arsf-bus` | CAN-like broadcast bus substrate |
+//! | [`core`] | `arsf-core` | the fusion pipeline, metrics, bus transport |
+//! | [`sim`] | `arsf-sim` | vehicle/platoon simulation, Table I & II engines |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use arsf::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Three speedometers; at most one may be faulty or compromised.
+//! let readings = [
+//!     Interval::new(9.9, 10.1)?,  // encoder
+//!     Interval::new(9.6, 10.6)?,  // GPS
+//!     Interval::new(9.2, 11.2)?,  // camera
+//! ];
+//! let fused = arsf::fusion::marzullo::fuse(&readings, 1)?;
+//! assert!(fused.contains(10.0));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [doi]: https://doi.org/10.7873/DATE.2014.067
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use arsf_attack as attack;
+pub use arsf_bus as bus;
+pub use arsf_core as core;
+pub use arsf_detect as detect;
+pub use arsf_fusion as fusion;
+pub use arsf_interval as interval;
+pub use arsf_schedule as schedule;
+pub use arsf_sensor as sensor;
+pub use arsf_sim as sim;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use arsf_attack::strategies::{GreedyExtreme, PhantomOptimal, Side};
+    pub use arsf_attack::{AttackMode, AttackStrategy, AttackerConfig, Truthful};
+    pub use arsf_core::{DetectionMode, FusionPipeline, PipelineConfig, RoundOutcome};
+    pub use arsf_detect::{OverlapDetector, WindowedDetector};
+    pub use arsf_fusion::marzullo::{fuse, FusionConfig};
+    pub use arsf_fusion::{Fuser, FusionError, MarzulloFuser};
+    pub use arsf_interval::{Interval, IntervalError};
+    pub use arsf_schedule::{SchedulePolicy, TransmissionOrder};
+    pub use arsf_sensor::{Measurement, NoiseModel, Sensor, SensorSpec, SensorSuite};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile_and_link() {
+        let iv = crate::interval::Interval::new(0.0, 1.0).unwrap();
+        assert_eq!(iv.width(), 1.0);
+        let suite = crate::sensor::suite::landshark();
+        assert_eq!(suite.len(), 4);
+    }
+
+    #[test]
+    fn prelude_has_the_core_types() {
+        use crate::prelude::*;
+        let fused = fuse(
+            &[
+                Interval::new(0.0, 2.0).unwrap(),
+                Interval::new(1.0, 3.0).unwrap(),
+            ],
+            0,
+        )
+        .unwrap();
+        assert_eq!(fused, Interval::new(1.0, 2.0).unwrap());
+    }
+}

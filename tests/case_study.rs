@@ -1,0 +1,83 @@
+//! Cross-crate integration: a short Table II case-study run (the full
+//! 20k-round version is the `repro_table2` release binary).
+
+use arsf::schedule::SchedulePolicy;
+use arsf::sim::landshark::{AttackSelection, LandShark, LandSharkConfig};
+use arsf::sim::platoon::Platoon;
+use arsf::sim::table2::{run_schedule, Table2Config};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quick() -> Table2Config {
+    Table2Config {
+        rounds: 1200,
+        ..Table2Config::default()
+    }
+}
+
+#[test]
+fn table2_shape_ascending_zero_descending_worst() {
+    let asc = run_schedule(SchedulePolicy::Ascending, &quick());
+    let desc = run_schedule(SchedulePolicy::Descending, &quick());
+    let rand = run_schedule(SchedulePolicy::Random, &quick());
+    assert_eq!(asc.above, 0.0);
+    assert_eq!(asc.below, 0.0);
+    let total = |r: &arsf::sim::table2::Table2Row| r.above + r.below;
+    assert!(total(&desc) > total(&rand));
+    assert!(total(&rand) > 0.0);
+}
+
+#[test]
+fn descending_rates_are_roughly_symmetric() {
+    // The paper reports 17.42% above vs 17.65% below: the attacker has no
+    // systematic preference for a side.
+    let desc = run_schedule(
+        SchedulePolicy::Descending,
+        &Table2Config {
+            rounds: 4000,
+            ..Table2Config::default()
+        },
+    );
+    let ratio = desc.above / desc.below;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "above {} vs below {} too asymmetric",
+        desc.above,
+        desc.below
+    );
+}
+
+#[test]
+fn platoon_under_attack_never_collides_with_ascending() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let config = LandSharkConfig::new(10.0, SchedulePolicy::Ascending)
+        .with_attack(AttackSelection::RandomEachRound);
+    let mut platoon = Platoon::new(3, 0.005, config);
+    for _ in 0..400 {
+        platoon.step(&mut rng);
+    }
+    assert!(!platoon.collided());
+}
+
+#[test]
+fn single_vehicle_holds_speed_under_any_schedule() {
+    for policy in [
+        SchedulePolicy::Ascending,
+        SchedulePolicy::Descending,
+        SchedulePolicy::Random,
+    ] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = LandSharkConfig::new(10.0, policy.clone())
+            .with_attack(AttackSelection::RandomEachRound);
+        let mut shark = LandShark::new(config);
+        for _ in 0..500 {
+            shark.step(&mut rng);
+        }
+        assert!(
+            (shark.speed() - 10.0).abs() < 1.0,
+            "{}: speed {} drifted",
+            policy.name(),
+            shark.speed()
+        );
+    }
+}
