@@ -225,10 +225,7 @@ pub fn expected_fusion_width(
         let far = attacked_slots.len() - idx;
         modes[slot] = Some(AttackMode::for_slot(slot, n, f, far));
     }
-    let needs_delta = modes
-        .iter()
-        .flatten()
-        .any(|m| *m == AttackMode::Passive);
+    let needs_delta = modes.iter().flatten().any(|m| *m == AttackMode::Passive);
 
     // Enumerate the attacker's own correct readings when passive mode
     // needs Δ; otherwise a single pass with a placeholder.
@@ -265,15 +262,8 @@ pub fn expected_fusion_width(
                 )
             })
             .collect();
-        let delta = intersection_all(
-            &own_correct
-                .iter()
-                .map(|(_, iv)| *iv)
-                .collect::<Vec<_>>(),
-        )
-        .unwrap_or_else(|| {
-            Interval::degenerate(scenario.truth).expect("truth is finite")
-        });
+        let delta = intersection_all(&own_correct.iter().map(|(_, iv)| *iv).collect::<Vec<_>>())
+            .unwrap_or_else(|| Interval::degenerate(scenario.truth).expect("truth is finite"));
 
         let mut eval = Eval {
             scenario,
@@ -416,7 +406,7 @@ impl Eval<'_> {
                     let (width, child_ok) = self.node(slot + 1, placed);
                     placed.pop();
                     best_any = best_any.max(width);
-                    if child_ok && best_ok.map_or(true, |b| width > b) {
+                    if child_ok && best_ok.is_none_or(|b| width > b) {
                         best_ok = Some(width);
                     }
                 }
@@ -496,12 +486,7 @@ impl Eval<'_> {
                 // a forgery overlapping neither the bus contents nor any
                 // possible future correct interval cannot influence the
                 // fusion interval and would be flagged.
-                let max_w = self
-                    .scenario
-                    .widths
-                    .iter()
-                    .copied()
-                    .fold(0.0_f64, f64::max);
+                let max_w = self.scenario.widths.iter().copied().fold(0.0_f64, f64::max);
                 let (mut anchor_lo, mut anchor_hi) = (truth, truth);
                 for (_, iv) in placed {
                     anchor_lo = anchor_lo.min(iv.lo());
@@ -532,11 +517,7 @@ impl Eval<'_> {
                 // Guaranteed-stealthy fallback: the sensor's own correct
                 // reading (when enumerated) always intersects the fusion
                 // interval.
-                if let Some((_, own)) = self
-                    .own_correct
-                    .iter()
-                    .find(|(s, _)| *s == sensor)
-                {
+                if let Some((_, own)) = self.own_correct.iter().find(|(s, _)| *s == sensor) {
                     out.push(*own);
                 }
                 out

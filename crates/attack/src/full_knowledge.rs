@@ -98,7 +98,10 @@ pub fn optimal_attack(
     f: usize,
 ) -> Result<OptimalAttack, AttackError> {
     let fa = attacked_widths.len();
-    assert!(fa <= 4, "lattice solver supports at most 4 attacked intervals");
+    assert!(
+        fa <= 4,
+        "lattice solver supports at most 4 attacked intervals"
+    );
     assert!(
         attacked_widths.iter().all(|w| w.is_finite() && *w >= 0.0),
         "attacked widths must be finite and non-negative"
@@ -144,7 +147,7 @@ pub fn optimal_attack(
         })
         .collect();
 
-    let mut best: Option<(f64, Vec<Interval<f64>>, Interval<f64>)> = None;
+    let mut best: BestAttack = None;
     let mut placements: Vec<Interval<f64>> = Vec::with_capacity(fa);
     explore(
         correct,
@@ -165,13 +168,16 @@ pub fn optimal_attack(
     }
 }
 
+/// Best attack found so far: `(width, placements, fusion interval)`.
+type BestAttack = Option<(f64, Vec<Interval<f64>>, Interval<f64>)>;
+
 fn explore(
     correct: &[Interval<f64>],
     widths: &[f64],
     f: usize,
     candidates: &[Vec<f64>],
     placements: &mut Vec<Interval<f64>>,
-    best: &mut Option<(f64, Vec<Interval<f64>>, Interval<f64>)>,
+    best: &mut BestAttack,
 ) {
     let idx = placements.len();
     if idx == widths.len() {
@@ -179,9 +185,8 @@ fn explore(
         return;
     }
     for &lo in &candidates[idx] {
-        placements.push(
-            Interval::new(lo, lo + widths[idx]).expect("lattice coordinates are finite"),
-        );
+        placements
+            .push(Interval::new(lo, lo + widths[idx]).expect("lattice coordinates are finite"));
         explore(correct, widths, f, candidates, placements, best);
         placements.pop();
     }
@@ -191,7 +196,7 @@ fn evaluate(
     correct: &[Interval<f64>],
     placements: &[Interval<f64>],
     f: usize,
-    best: &mut Option<(f64, Vec<Interval<f64>>, Interval<f64>)>,
+    best: &mut BestAttack,
 ) {
     let mut all: Vec<Interval<f64>> = correct.to_vec();
     all.extend(placements.iter().copied());
@@ -202,7 +207,7 @@ fn evaluate(
         return;
     }
     let width = fusion.width();
-    if best.as_ref().map_or(true, |(w, ..)| width > *w) {
+    if best.as_ref().is_none_or(|(w, ..)| width > *w) {
         *best = Some((width, placements.to_vec(), fusion));
     }
 }
@@ -261,7 +266,11 @@ pub fn brute_force_attack(
     }
     let max_w = attacked_widths.iter().copied().fold(0.0_f64, f64::max);
     let lo = correct.iter().map(|s| s.lo()).fold(f64::INFINITY, f64::min) - max_w;
-    let hi = correct.iter().map(|s| s.hi()).fold(f64::NEG_INFINITY, f64::max) + max_w;
+    let hi = correct
+        .iter()
+        .map(|s| s.hi())
+        .fold(f64::NEG_INFINITY, f64::max)
+        + max_w;
     let steps = ((hi - lo) / step).round() as usize;
 
     let map = CoverageMap::build(correct);
@@ -272,7 +281,7 @@ pub fn brute_force_attack(
         .map(|_| (0..=steps).map(|i| lo + i as f64 * step).collect())
         .collect();
 
-    let mut best: Option<(f64, Vec<Interval<f64>>, Interval<f64>)> = None;
+    let mut best: BestAttack = None;
     let mut placements: Vec<Interval<f64>> = Vec::with_capacity(fa);
     explore(
         correct,

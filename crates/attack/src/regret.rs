@@ -137,14 +137,9 @@ mod tests {
         // total order exists.
         let demo = fig2_demo();
         let one_on_left = demo.one_sided.1.achieved;
-        let two_on_left = evaluate_commitment(
-            demo.s1,
-            demo.two_sided.0,
-            demo.one_sided.1.s2,
-            1,
-        )
-        .unwrap()
-        .achieved;
+        let two_on_left = evaluate_commitment(demo.s1, demo.two_sided.0, demo.one_sided.1.s2, 1)
+            .unwrap()
+            .achieved;
         assert!(
             two_on_left > one_on_left,
             "two-sided {} must beat one-sided {} on the left realisation",

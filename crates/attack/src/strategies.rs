@@ -100,8 +100,7 @@ impl AttackStrategy for PhantomOptimal {
         // frontiers are chosen evenly across rounds.
         self.mirror = !self.mirror;
         let proposal = if self.mirror {
-            let mirrored: Vec<Interval<f64>> =
-                world.iter().map(|s| mirror_interval(*s)).collect();
+            let mirrored: Vec<Interval<f64>> = world.iter().map(|s| mirror_interval(*s)).collect();
             match optimal_attack(&mirrored, &widths, ctx.f) {
                 Ok(attack) => mirror_interval(attack.placements[0]),
                 Err(_) => ctx.own_correct,

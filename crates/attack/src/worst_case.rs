@@ -63,18 +63,14 @@ pub struct WorstCase {
 /// let wc1 = no_attack_worst_case(&[2.0, 2.0], 1, 1.0).unwrap();
 /// assert_eq!(wc1.width, 4.0);
 /// ```
-pub fn no_attack_worst_case(
-    widths: &[f64],
-    f: usize,
-    step: f64,
-) -> Result<WorstCase, AttackError> {
+pub fn no_attack_worst_case(widths: &[f64], f: usize, step: f64) -> Result<WorstCase, AttackError> {
     validate(widths, step)?;
     let mut best: Option<WorstCase> = None;
     let mut placement: Vec<Interval<f64>> = Vec::with_capacity(widths.len());
     enumerate_correct(widths, step, &mut placement, &mut |config| {
         if let Ok(fused) = arsf_fusion::marzullo::fuse(config, f) {
             let width = fused.width();
-            if best.as_ref().map_or(true, |b| width > b.width) {
+            if best.as_ref().is_none_or(|b| width > b.width) {
                 best = Some(WorstCase {
                     width,
                     correct: config.to_vec(),
@@ -135,7 +131,7 @@ pub fn attacked_worst_case(
     enumerate_correct(&correct_widths, step, &mut placement, &mut |config| {
         if let Ok(attack) = optimal_attack(config, &attacked_widths, f) {
             let width = attack.width();
-            if best.as_ref().map_or(true, |b| width > b.width) {
+            if best.as_ref().is_none_or(|b| width > b.width) {
                 best = Some(WorstCase {
                     width,
                     correct: config.to_vec(),
@@ -166,7 +162,7 @@ pub fn global_worst_case(
     for subset in subsets(n, fa) {
         match attacked_worst_case(widths, &subset, f, step) {
             Ok(wc) => {
-                if best.as_ref().map_or(true, |(_, b)| wc.width > b.width) {
+                if best.as_ref().is_none_or(|(_, b)| wc.width > b.width) {
                     best = Some((subset, wc));
                 }
             }
@@ -223,16 +219,14 @@ fn enumerate_correct(
     }
     let w = widths[idx];
     let half = w * 0.5;
-    let count = ((w / step).round() as usize).max(0);
+    let count = (w / step).round() as usize;
     for j in 0..=count {
         let centre = if count == 0 {
             0.0
         } else {
             -half + w * j as f64 / count as f64
         };
-        placement.push(
-            Interval::centered(centre, half).expect("grid centres are finite"),
-        );
+        placement.push(Interval::centered(centre, half).expect("grid centres are finite"));
         enumerate_correct(widths, step, placement, visit);
         placement.pop();
     }

@@ -22,7 +22,7 @@ fn oracle_last_slot(widths: &[f64], attacked: usize, f: usize, step: f64) -> f64
     let grids: Vec<Vec<f64>> = correct
         .iter()
         .map(|(_, w)| {
-            let count = ((w / step).round() as usize).max(0);
+            let count = (w / step).round() as usize;
             (0..=count)
                 .map(|j| {
                     if count == 0 {
@@ -107,8 +107,14 @@ fn expectimax_with_earlier_slot_never_beats_last_slot() {
     let e_last = expected_fusion_width(&scenario, &last).expected_width;
     let e_middle = expected_fusion_width(&scenario, &middle).expected_width;
     let e_first = expected_fusion_width(&scenario, &first).expected_width;
-    assert!(e_first <= e_middle + 1e-9, "first {e_first} vs middle {e_middle}");
-    assert!(e_middle <= e_last + 1e-9, "middle {e_middle} vs last {e_last}");
+    assert!(
+        e_first <= e_middle + 1e-9,
+        "first {e_first} vs middle {e_middle}"
+    );
+    assert!(
+        e_middle <= e_last + 1e-9,
+        "middle {e_middle} vs last {e_last}"
+    );
 }
 
 #[test]

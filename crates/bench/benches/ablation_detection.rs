@@ -63,7 +63,6 @@ fn bench_strategy_cost(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Shared bench configuration: short measurement windows keep the whole
 /// workspace bench run in the minutes range while remaining stable.
 fn configured() -> Criterion {

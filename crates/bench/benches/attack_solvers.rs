@@ -52,7 +52,6 @@ fn bench_expectimax(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Shared bench configuration: short measurement windows keep the whole
 /// workspace bench run in the minutes range while remaining stable.
 fn configured() -> Criterion {

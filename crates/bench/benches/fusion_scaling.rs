@@ -29,9 +29,11 @@ fn bench_fusion_scaling(c: &mut Criterion) {
             b.iter(|| marzullo::fuse(std::hint::black_box(s), f))
         });
         if n <= 256 {
-            group.bench_with_input(BenchmarkId::new("naive_reference", n), &intervals, |b, s| {
-                b.iter(|| naive::fuse(std::hint::black_box(s), f))
-            });
+            group.bench_with_input(
+                BenchmarkId::new("naive_reference", n),
+                &intervals,
+                |b, s| b.iter(|| naive::fuse(std::hint::black_box(s), f)),
+            );
         }
         group.bench_with_input(BenchmarkId::new("brooks_iyengar", n), &intervals, |b, s| {
             b.iter(|| brooks_iyengar::fuse(std::hint::black_box(s), f))
@@ -39,7 +41,6 @@ fn bench_fusion_scaling(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Shared bench configuration: short measurement windows keep the whole
 /// workspace bench run in the minutes range while remaining stable.

@@ -30,10 +30,7 @@ fn bench_pipeline_round(c: &mut Criterion) {
             |b, p| {
                 let mut pipeline = FusionPipeline::builder(arsf_sensor::suite::landshark())
                     .config(PipelineConfig::new(1, p.clone()))
-                    .attacker(
-                        AttackerConfig::new([0], 1),
-                        Box::new(PhantomOptimal::new()),
-                    )
+                    .attacker(AttackerConfig::new([0], 1), Box::new(PhantomOptimal::new()))
                     .build();
                 let mut rng = StdRng::seed_from_u64(9);
                 b.iter(|| pipeline.run_round(std::hint::black_box(10.0), &mut rng))
@@ -42,7 +39,6 @@ fn bench_pipeline_round(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Shared bench configuration: short measurement windows keep the whole
 /// workspace bench run in the minutes range while remaining stable.

@@ -1,0 +1,57 @@
+//! Criterion bench: scenario batch throughput — the declarative runner
+//! executing rounds into preallocated, reusable outcome buffers, across
+//! fusion algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use arsf_core::scenario::{AttackerSpec, FuserSpec, Scenario, StrategySpec, SuiteSpec};
+use arsf_core::{RoundOutcome, ScenarioRunner};
+
+const BATCH: usize = 256;
+
+fn bench_scenario_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_batch");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for fuser in [
+        FuserSpec::Marzullo,
+        FuserSpec::BrooksIyengar,
+        FuserSpec::InverseVariance,
+        FuserSpec::Historical {
+            max_rate: 3.5,
+            dt: 0.1,
+        },
+    ] {
+        let scenario = Scenario::new(format!("bench-{}", fuser.name()), SuiteSpec::Landshark)
+            .with_attacker(AttackerSpec::Fixed {
+                sensors: vec![0],
+                strategy: StrategySpec::PhantomOptimal,
+            })
+            .with_fuser(fuser.clone());
+        group.bench_with_input(
+            BenchmarkId::new("run_batch_256", fuser.name()),
+            &scenario,
+            |b, s| {
+                let mut runner = ScenarioRunner::new(s);
+                let mut outcomes: Vec<RoundOutcome> = Vec::with_capacity(BATCH);
+                b.iter(|| runner.run_batch(std::hint::black_box(BATCH), &mut outcomes))
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Shared bench configuration: short measurement windows keep the whole
+/// workspace bench run in the minutes range while remaining stable.
+fn configured() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_scenario_batch
+}
+criterion_main!(benches);

@@ -32,7 +32,11 @@ fn bench_table1_engine(c: &mut Criterion) {
     for (label, setup, step) in [
         ("n3_coarse", Table1Setup::new([5.0, 11.0, 17.0], 1), 4.0),
         ("n3_mid", Table1Setup::new([5.0, 11.0, 17.0], 1), 2.0),
-        ("n4_coarse", Table1Setup::new([5.0, 8.0, 17.0, 20.0], 1), 4.0),
+        (
+            "n4_coarse",
+            Table1Setup::new([5.0, 8.0, 17.0, 20.0], 1),
+            4.0,
+        ),
     ] {
         group.bench_with_input(BenchmarkId::new("evaluate_setup", label), &setup, |b, s| {
             b.iter(|| evaluate_setup(std::hint::black_box(s), step))
@@ -40,7 +44,6 @@ fn bench_table1_engine(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Shared bench configuration: short measurement windows keep the whole
 /// workspace bench run in the minutes range while remaining stable.

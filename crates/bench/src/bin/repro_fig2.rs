@@ -11,7 +11,10 @@ use arsf_interval::render::{Diagram, RowStyle};
 fn main() {
     let demo = fig2_demo();
     println!("Figure 2: no optimal attack policy under partial information\n");
-    println!("the attacker saw only s1 = {} and must commit a width-{} forgery (n = 3, f = 1)\n", demo.s1, demo.width);
+    println!(
+        "the attacker saw only s1 = {} and must commit a width-{} forgery (n = 3, f = 1)\n",
+        demo.s1, demo.width
+    );
 
     let (a_one, case_one) = (demo.one_sided.0, demo.one_sided.1);
     let (a_two, case_two) = (demo.two_sided.0, demo.two_sided.1);

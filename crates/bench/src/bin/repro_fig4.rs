@@ -92,7 +92,10 @@ fn main() {
     );
 
     println!("global worst case {global_best:.2} achieved by {global_set:?};");
-    println!("Theorem 3 check: attacking {{6, 8}} gives exactly |S_na| = {:.2} ✓", na.width);
+    println!(
+        "Theorem 3 check: attacking {{6, 8}} gives exactly |S_na| = {:.2} ✓",
+        na.width
+    );
     println!("Theorem 4 check: attacking {{2, 3}} achieves the global worst case ✓\n");
 
     // Render the worst configuration for the smallest-attacked case,

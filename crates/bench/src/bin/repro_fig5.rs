@@ -42,7 +42,7 @@ fn run_case(case: &Case) -> (f64, f64) {
             Box::new(PhantomOptimal::new()) as Box<dyn AttackStrategy>,
         ));
         let round = run_bus_round(&case.readings, &case.widths, order, case.f, attacker);
-        let fused = round.fusion.clone().expect("round fuses");
+        let fused = round.fusion.expect("round fuses");
         assert!(round.flagged.is_empty(), "attacker must stay stealthy");
 
         let mut d = Diagram::new();
@@ -52,7 +52,11 @@ fn run_case(case: &Case) -> (f64, f64) {
             } else {
                 RowStyle::Correct
             };
-            d.row(format!("s{sensor} (w={})", case.widths[*sensor]), *interval, style);
+            d.row(
+                format!("s{sensor} (w={})", case.widths[*sensor]),
+                *interval,
+                style,
+            );
         }
         d.separator();
         d.row("S", fused, RowStyle::Fusion);
@@ -85,9 +89,7 @@ fn main() {
         desc_a > asc_a,
         "case (a): descending {desc_a} must exceed ascending {asc_a}"
     );
-    println!(
-        "  => ascending fusion {asc_a:.1} < descending fusion {desc_a:.1}\n"
-    );
+    println!("  => ascending fusion {asc_a:.1} < descending fusion {desc_a:.1}\n");
 
     // (b) The attacked sensor has the second-largest width: under
     // Descending it transmits second — too early for active mode, so the
@@ -109,9 +111,7 @@ fn main() {
         asc_b > desc_b,
         "case (b): ascending {asc_b} must exceed descending {desc_b}"
     );
-    println!(
-        "  => descending fusion {desc_b:.1} < ascending fusion {asc_b:.1}\n"
-    );
+    println!("  => descending fusion {desc_b:.1} < ascending fusion {asc_b:.1}\n");
 
     println!("As in the paper: schedule quality depends on the realisation,");
     println!("which is why the paper argues from worst- and average-case");

@@ -16,9 +16,7 @@
 use arsf_attack::expectimax::AttackerStyle;
 use arsf_bench::{arg_value, has_flag, TextTable};
 use arsf_schedule::SchedulePolicy;
-use arsf_sim::table1::{
-    evaluate_schedule_styled, evaluate_setup, most_precise_set, paper_setups,
-};
+use arsf_sim::table1::{evaluate_schedule_styled, evaluate_setup, most_precise_set, paper_setups};
 
 fn main() {
     let step: f64 = if has_flag("--quick") {

@@ -1,0 +1,56 @@
+//! Sweeps every named scenario preset through the declarative runner and
+//! tabulates the summaries — the one-command overview of how each
+//! fusion-algorithm/detector/schedule combination behaves.
+//!
+//! Run with: `cargo run --release -p arsf-bench --bin scenario_sweep`
+//!
+//! Options: `--rounds <n>` (default: each preset's own count).
+
+use arsf_bench::{arg_value, TextTable};
+use arsf_core::scenario::registry;
+use arsf_core::ScenarioRunner;
+
+fn main() {
+    let rounds_override: Option<u64> = arg_value("--rounds").and_then(|s| s.parse().ok());
+
+    let mut presets = registry();
+    if let Some(rounds) = rounds_override {
+        for preset in &mut presets {
+            preset.rounds = rounds;
+        }
+    }
+
+    println!("Scenario sweep: every registry preset through one engine\n");
+    let mut table = TextTable::new(vec![
+        "scenario".into(),
+        "fuser".into(),
+        "detector".into(),
+        "schedule".into(),
+        "rounds".into(),
+        "mean width".into(),
+        "truth lost".into(),
+        "fusion fail".into(),
+        "flag rounds".into(),
+        "condemned".into(),
+    ]);
+    for preset in &presets {
+        let summary = ScenarioRunner::new(preset).run();
+        table.row(vec![
+            summary.scenario.clone(),
+            summary.fuser.clone(),
+            summary.detector.clone(),
+            preset.schedule.name().into(),
+            format!("{}", summary.rounds),
+            format!("{:.3}", summary.widths.mean()),
+            format!("{}", summary.truth_lost),
+            format!("{}", summary.fusion_failures),
+            format!("{}", summary.flagged_rounds),
+            format!("{:?}", summary.condemned),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Marzullo/Brooks–Iyengar keep the truth under attack (fa <= f);");
+    println!("the inverse-variance baseline does not; historical fusion");
+    println!("tightens the descending-schedule attack; the windowed detector");
+    println!("condemns the transiently-faulty GPS without false positives.");
+}

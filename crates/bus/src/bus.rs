@@ -217,7 +217,10 @@ mod tests {
         sensor.set_reading(iv(0.0, 1.0));
         bus.add_node(Box::new(sensor));
         // Low-priority babbler (high id): its frames sort last per slot.
-        bus.add_node(Box::new(BabblingNode::new(NodeId::new(1), FrameId::new(0x700))));
+        bus.add_node(Box::new(BabblingNode::new(
+            NodeId::new(1),
+            FrameId::new(0x700),
+        )));
         let frames = bus.run_slots(&[NodeId::new(1), NodeId::new(0), NodeId::new(1)]);
         // The sensor's measurement made it onto the wire despite the
         // babble, and within its slot it won arbitration (lower id).
@@ -247,7 +250,10 @@ mod tests {
         sensor.set_reading(iv(0.0, 1.0));
         bus.add_node(Box::new(sensor));
         // High-priority babbler (low id).
-        bus.add_node(Box::new(BabblingNode::new(NodeId::new(1), FrameId::new(0x001))));
+        bus.add_node(Box::new(BabblingNode::new(
+            NodeId::new(1),
+            FrameId::new(0x001),
+        )));
         let frames = bus.run_slots(&[NodeId::new(1), NodeId::new(0)]);
         // The measurement still transmits: TDMA grants the slot, and a
         // queued babble frame merely precedes it on the wire.

@@ -1,9 +1,17 @@
 //! Pipeline configuration.
 
+use arsf_detect::{Detector, ImmediateDetector, NoDetector, WindowedDetector};
 use arsf_schedule::SchedulePolicy;
 
-/// How the controller reacts to intervals disjoint from the fusion
-/// interval.
+/// Declarative default for the engine's detector: how the controller
+/// reacts to intervals disjoint from the fusion interval.
+///
+/// The engine itself dispatches through the object-safe
+/// [`Detector`] trait; this enum is the *configuration-level* name for
+/// the three stock detectors, kept declarative so scenarios serialise
+/// naturally. An explicit
+/// [`PipelineBuilder::detector`](crate::PipelineBuilder::detector)
+/// overrides it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum DetectionMode {
@@ -20,6 +28,20 @@ pub enum DetectionMode {
         /// Tolerated violations per window.
         tolerance: usize,
     },
+}
+
+impl DetectionMode {
+    /// Builds the stock [`Detector`] this mode names, for a suite of `n`
+    /// sensors.
+    pub fn detector(&self, n: usize) -> Box<dyn Detector> {
+        match *self {
+            DetectionMode::Off => Box::new(NoDetector),
+            DetectionMode::Immediate => Box::new(ImmediateDetector),
+            DetectionMode::Windowed { window, tolerance } => {
+                Box::new(WindowedDetector::new(n, window, tolerance))
+            }
+        }
+    }
 }
 
 /// Validated pipeline configuration: fusion fault assumption, schedule
@@ -90,8 +112,19 @@ mod tests {
 
     #[test]
     fn detection_override() {
-        let cfg = PipelineConfig::new(1, SchedulePolicy::Random)
-            .with_detection(DetectionMode::Off);
+        let cfg = PipelineConfig::new(1, SchedulePolicy::Random).with_detection(DetectionMode::Off);
         assert_eq!(cfg.detection(), DetectionMode::Off);
+    }
+
+    #[test]
+    fn modes_build_their_detectors() {
+        assert_eq!(DetectionMode::Off.detector(4).name(), "off");
+        assert_eq!(DetectionMode::Immediate.detector(4).name(), "immediate");
+        let windowed = DetectionMode::Windowed {
+            window: 5,
+            tolerance: 1,
+        }
+        .detector(4);
+        assert_eq!(windowed.name(), "windowed");
     }
 }

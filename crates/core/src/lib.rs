@@ -1,4 +1,4 @@
-//! The attack-resilient sensor-fusion pipeline.
+//! The attack-resilient sensor-fusion engine.
 //!
 //! This crate assembles the substrates ([`arsf_sensor`], [`arsf_schedule`],
 //! [`arsf_attack`], [`arsf_fusion`], [`arsf_detect`], [`arsf_bus`]) into
@@ -6,12 +6,23 @@
 //! one physical variable, broadcast abstract intervals over a shared bus
 //! in a scheduled order, an attacker forges the intervals of the sensors
 //! she controls using everything already on the wire, and the controller
-//! fuses with Marzullo's algorithm and runs attack detection.
+//! fuses and runs attack detection.
 //!
-//! * [`FusionPipeline`] — the round engine: sample → schedule → (attack)
-//!   → fuse → detect, one call per control period,
-//! * [`PipelineConfig`]/[`DetectionMode`] — validated configuration,
-//! * [`RoundOutcome`] — everything observable about one round,
+//! The engine is **pluggable** along its two algorithmic axes:
+//!
+//! * [`FusionPipeline`] — the round engine (sample → schedule → (attack)
+//!   → fuse → detect), generic over any [`Fuser`](arsf_fusion::Fuser)
+//!   (Marzullo, Brooks–Iyengar, historical, weighted, …) and driving any
+//!   [`Detector`](arsf_detect::Detector) (off, immediate, windowed, …),
+//! * [`PipelineConfig`]/[`DetectionMode`] — validated configuration;
+//!   the detection mode is the declarative name of the default detector,
+//! * [`RoundOutcome`] — everything observable about one round, designed
+//!   as a reusable buffer ([`FusionPipeline::run_round_into`]),
+//! * [`scenario`] — declarative [`Scenario`] descriptions (suite, faults,
+//!   attacker, schedule, fuser, detector, truth, rounds, seed) and a
+//!   registry of named presets,
+//! * [`ScenarioRunner`] — batch execution of scenarios into preallocated
+//!   outcome buffers, with [`BatchSummary`] aggregation,
 //! * [`metrics`] — violation counters and width statistics used by the
 //!   experiment harnesses,
 //! * [`transport`] — the same round executed over the `arsf-bus`
@@ -38,6 +49,23 @@
 //! assert!(outcome.flagged.is_empty(), "the attacker stays stealthy");
 //! ```
 //!
+//! Swapping the fusion algorithm (or the detector) is one builder call —
+//! every algorithm runs through the same engine:
+//!
+//! ```
+//! use arsf_core::{FusionPipeline, PipelineConfig};
+//! use arsf_fusion::BrooksIyengarFuser;
+//! use arsf_schedule::SchedulePolicy;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut pipeline = FusionPipeline::builder(arsf_sensor::suite::landshark())
+//!     .config(PipelineConfig::new(1, SchedulePolicy::Ascending))
+//!     .fuser(BrooksIyengarFuser::new(1))
+//!     .build();
+//! let mut rng = StdRng::seed_from_u64(42);
+//! assert!(pipeline.run_round(10.0, &mut rng).fusion.is_ok());
+//! ```
+//!
 //! [paper]: https://doi.org/10.7873/DATE.2014.067
 
 #![forbid(unsafe_code)]
@@ -46,7 +74,11 @@
 mod config;
 pub mod metrics;
 mod pipeline;
+mod runner;
+pub mod scenario;
 pub mod transport;
 
 pub use config::{DetectionMode, PipelineConfig};
 pub use pipeline::{FusionPipeline, PipelineBuilder, RoundOutcome};
+pub use runner::{run_all, BatchSummary, ScenarioRunner};
+pub use scenario::Scenario;

@@ -1,18 +1,23 @@
-//! The round engine.
+//! The round engine, generic over the fusion algorithm and the detector.
 
 use arsf_attack::model::{AttackMode, AttackStrategy, SlotContext};
 use arsf_attack::{delta, AttackerConfig};
-use arsf_detect::{OverlapDetector, WindowVerdict, WindowedDetector};
-use arsf_fusion::{marzullo, FusionError};
+use arsf_detect::{Detector, RoundAssessment};
+use arsf_fusion::{Fuser, FusionError, MarzulloFuser};
 use arsf_interval::Interval;
 use arsf_schedule::TransmissionOrder;
-use arsf_sensor::SensorSuite;
+use arsf_sensor::{Measurement, SensorSuite};
 use rand::Rng;
 
-use crate::{DetectionMode, PipelineConfig};
+use crate::PipelineConfig;
 
 /// Everything observable about one communication round.
-#[derive(Debug)]
+///
+/// Outcomes are reusable buffers: the engine's
+/// [`FusionPipeline::run_round_into`] clears and refills an existing
+/// outcome instead of allocating, which is what the batch runner and the
+/// benchmarks use for sweep throughput.
+#[derive(Debug, Clone)]
 pub struct RoundOutcome {
     /// The ground truth the round was sampled at (simulation only).
     pub truth: f64,
@@ -26,11 +31,27 @@ pub struct RoundOutcome {
     pub fusion: Result<Interval<f64>, FusionError>,
     /// Midpoint of the fusion interval (the controller's point estimate).
     pub estimate: Option<f64>,
-    /// Sensors flagged by immediate overlap detection this round.
+    /// Sensors flagged by the detector this round.
     pub flagged: Vec<usize>,
-    /// Sensors condemned by the windowed detector so far (empty unless
-    /// [`DetectionMode::Windowed`]).
+    /// Sensors condemned by a temporal detector so far (empty for
+    /// memoryless detectors).
     pub condemned: Vec<usize>,
+}
+
+impl Default for RoundOutcome {
+    /// An empty outcome ready to be filled by
+    /// [`FusionPipeline::run_round_into`].
+    fn default() -> Self {
+        Self {
+            truth: 0.0,
+            order: TransmissionOrder::identity(0),
+            transmitted: Vec::new(),
+            fusion: Err(FusionError::EmptyInput),
+            estimate: None,
+            flagged: Vec::new(),
+            condemned: Vec::new(),
+        }
+    }
 }
 
 impl RoundOutcome {
@@ -40,19 +61,55 @@ impl RoundOutcome {
     }
 }
 
+/// How a builder materialises its fuser when none was supplied: the
+/// engine defaults to Marzullo with the configured fault assumption.
+enum FuserSource<F> {
+    FromConfig(fn(usize) -> F),
+    Given(F),
+}
+
 /// Builder for [`FusionPipeline`].
-pub struct PipelineBuilder {
+///
+/// The type parameter tracks the fusion algorithm; it starts at
+/// [`MarzulloFuser`] and changes when [`PipelineBuilder::fuser`] installs
+/// a different one.
+pub struct PipelineBuilder<F: Fuser<f64> = MarzulloFuser> {
     suite: SensorSuite,
     config: PipelineConfig,
     attacker: Option<(AttackerConfig, Box<dyn AttackStrategy>)>,
+    fuser: FuserSource<F>,
+    detector: Option<Box<dyn Detector>>,
 }
 
-impl PipelineBuilder {
+impl<F: Fuser<f64>> PipelineBuilder<F> {
     /// Sets the pipeline configuration (defaults to `f = 1`, Ascending,
     /// immediate detection).
     #[must_use]
     pub fn config(mut self, config: PipelineConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Installs a fusion algorithm, replacing the default
+    /// [`MarzulloFuser`] derived from the configured `f`. Any
+    /// [`Fuser<f64>`] works, including boxed trait objects and stateful
+    /// fusers.
+    #[must_use]
+    pub fn fuser<G: Fuser<f64>>(self, fuser: G) -> PipelineBuilder<G> {
+        PipelineBuilder {
+            suite: self.suite,
+            config: self.config,
+            attacker: self.attacker,
+            fuser: FuserSource::Given(fuser),
+            detector: self.detector,
+        }
+    }
+
+    /// Installs a detector, replacing the default derived from
+    /// [`DetectionMode`](crate::DetectionMode) in the configuration.
+    #[must_use]
+    pub fn detector(mut self, detector: Box<dyn Detector>) -> Self {
+        self.detector = Some(detector);
         self
     }
 
@@ -62,11 +119,7 @@ impl PipelineBuilder {
     ///
     /// Panics if a compromised index is out of range for the suite.
     #[must_use]
-    pub fn attacker(
-        mut self,
-        config: AttackerConfig,
-        strategy: Box<dyn AttackStrategy>,
-    ) -> Self {
+    pub fn attacker(mut self, config: AttackerConfig, strategy: Box<dyn AttackStrategy>) -> Self {
         assert!(
             config.compromised().iter().all(|&i| i < self.suite.len()),
             "compromised sensor index out of range"
@@ -76,19 +129,25 @@ impl PipelineBuilder {
     }
 
     /// Finalises the pipeline.
-    pub fn build(self) -> FusionPipeline {
+    pub fn build(self) -> FusionPipeline<F> {
         let n = self.suite.len();
-        let windowed = match self.config.detection() {
-            DetectionMode::Windowed { window, tolerance } => {
-                Some(WindowedDetector::new(n, window, tolerance))
-            }
-            _ => None,
+        let fuser = match self.fuser {
+            FuserSource::FromConfig(make) => make(self.config.f()),
+            FuserSource::Given(fuser) => fuser,
         };
+        let detector = self
+            .detector
+            .unwrap_or_else(|| self.config.detection().detector(n));
+        let widths = self.suite.widths();
         FusionPipeline {
             suite: self.suite,
             config: self.config,
             attacker: self.attacker,
-            windowed,
+            fuser,
+            detector,
+            widths,
+            readings: Vec::with_capacity(n),
+            intervals: Vec::with_capacity(n),
             round: 0,
         }
     }
@@ -96,25 +155,41 @@ impl PipelineBuilder {
 
 /// The round engine: sample → schedule → (attack) → fuse → detect.
 ///
+/// Generic over the fusion algorithm `F` (any [`Fuser<f64>`], defaulting
+/// to [`MarzulloFuser`]) and dynamically over the detector (any
+/// [`Detector`]), so every algorithm in `arsf-fusion` and every detector
+/// in `arsf-detect` runs through the same entry point.
+///
 /// See the [crate documentation](crate) for an end-to-end example.
-pub struct FusionPipeline {
+pub struct FusionPipeline<F: Fuser<f64> = MarzulloFuser> {
     suite: SensorSuite,
     config: PipelineConfig,
     attacker: Option<(AttackerConfig, Box<dyn AttackStrategy>)>,
-    windowed: Option<WindowedDetector>,
+    fuser: F,
+    detector: Box<dyn Detector>,
+    /// Static per-sensor interval widths (schedule input), cached once.
+    widths: Vec<f64>,
+    /// Scratch: this round's measurements.
+    readings: Vec<Measurement>,
+    /// Scratch: this round's transmitted intervals, in slot order.
+    intervals: Vec<Interval<f64>>,
     round: u64,
 }
 
-impl FusionPipeline {
+impl FusionPipeline<MarzulloFuser> {
     /// Starts building a pipeline around a sensor suite.
-    pub fn builder(suite: SensorSuite) -> PipelineBuilder {
+    pub fn builder(suite: SensorSuite) -> PipelineBuilder<MarzulloFuser> {
         PipelineBuilder {
             suite,
             config: PipelineConfig::new(1, arsf_schedule::SchedulePolicy::Ascending),
             attacker: None,
+            fuser: FuserSource::FromConfig(MarzulloFuser::new),
+            detector: None,
         }
     }
+}
 
+impl<F: Fuser<f64>> FusionPipeline<F> {
     /// The sensor suite.
     pub fn suite(&self) -> &SensorSuite {
         &self.suite
@@ -125,9 +200,46 @@ impl FusionPipeline {
         &self.config
     }
 
+    /// The fusion algorithm.
+    pub fn fuser(&self) -> &F {
+        &self.fuser
+    }
+
+    /// The detector.
+    pub fn detector(&self) -> &dyn Detector {
+        &*self.detector
+    }
+
     /// The number of completed rounds.
     pub fn rounds(&self) -> u64 {
         self.round
+    }
+
+    /// Resets the fuser's and detector's carried state and the round
+    /// counter, returning the engine to its initial state (the suite's
+    /// fault state is untouched).
+    pub fn reset(&mut self) {
+        self.fuser.reset();
+        self.detector.reset();
+        self.round = 0;
+    }
+
+    /// Installs, replaces or removes the attacker between rounds — the
+    /// case study re-draws the compromised sensor every round, and a
+    /// persistent engine (stateful fuser/detector, advancing schedules)
+    /// must not be rebuilt to express that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a compromised index is out of range for the suite.
+    pub fn set_attacker(&mut self, attacker: Option<(AttackerConfig, Box<dyn AttackStrategy>)>) {
+        if let Some((cfg, _)) = &attacker {
+            assert!(
+                cfg.compromised().iter().all(|&i| i < self.suite.len()),
+                "compromised sensor index out of range"
+            );
+        }
+        self.attacker = attacker;
     }
 
     /// Runs one communication round at the given ground truth.
@@ -138,7 +250,23 @@ impl FusionPipeline {
     /// strategy forges from the frames already on the wire, and finally
     /// the controller fuses and runs detection.
     pub fn run_round<R: Rng + ?Sized>(&mut self, truth: f64, rng: &mut R) -> RoundOutcome {
-        self.run_round_at(truth, self.round, rng)
+        let mut out = RoundOutcome::default();
+        self.run_round_into(truth, rng, &mut out);
+        out
+    }
+
+    /// [`FusionPipeline::run_round`] writing into a reusable outcome
+    /// buffer: all result vectors are cleared and refilled in place. An
+    /// honest round performs no per-round allocation beyond the
+    /// schedule's order; attacked rounds additionally build small
+    /// per-slot context buffers for the strategy.
+    pub fn run_round_into<R: Rng + ?Sized>(
+        &mut self,
+        truth: f64,
+        rng: &mut R,
+        out: &mut RoundOutcome,
+    ) {
+        self.run_round_at_into(truth, self.round, rng, out);
     }
 
     /// [`FusionPipeline::run_round`] with an explicit round counter —
@@ -151,13 +279,27 @@ impl FusionPipeline {
         round: u64,
         rng: &mut R,
     ) -> RoundOutcome {
-        let widths = self.suite.widths();
-        let order = self.config.schedule().order(&widths, round, rng);
+        let mut out = RoundOutcome::default();
+        self.run_round_at_into(truth, round, rng, &mut out);
+        out
+    }
+
+    /// [`FusionPipeline::run_round_at`] writing into a reusable outcome
+    /// buffer.
+    pub fn run_round_at_into<R: Rng + ?Sized>(
+        &mut self,
+        truth: f64,
+        round: u64,
+        rng: &mut R,
+        out: &mut RoundOutcome,
+    ) {
+        let order = self.config.schedule().order(&self.widths, round, rng);
         self.round = round + 1;
 
         // Sample every sensor (compromised sensors still produce their
         // *correct* readings, which the attacker reads before forging).
-        let readings = self.suite.sample_all(truth, rng);
+        self.suite.sample_all_into(truth, rng, &mut self.readings);
+        let readings = &self.readings;
         let reading_of = |sensor: usize| {
             readings
                 .iter()
@@ -180,7 +322,8 @@ impl FusionPipeline {
 
         let n = self.suite.len();
         let f = self.config.f();
-        let mut transmitted: Vec<(usize, Interval<f64>)> = Vec::with_capacity(n);
+        out.truth = truth;
+        out.transmitted.clear();
 
         for slot in 0..order.len() {
             let sensor = order[slot];
@@ -203,16 +346,15 @@ impl FusionPipeline {
                     .iter()
                     .skip(slot + 1)
                     .filter(|&&s| cfg.controls(s))
-                    .map(|&s| widths[s])
+                    .map(|&s| self.widths[s])
                     .collect();
-                let mode =
-                    AttackMode::for_slot(transmitted.len(), n, f, unsent_attacked);
+                let mode = AttackMode::for_slot(out.transmitted.len(), n, f, unsent_attacked);
                 let ctx = SlotContext {
                     order: &order,
                     slot,
                     sensor,
-                    width: widths[sensor],
-                    seen: &transmitted,
+                    width: self.widths[sensor],
+                    seen: &out.transmitted,
                     delta: attacker_delta.unwrap_or(correct_reading),
                     own_correct: correct_reading,
                     mode,
@@ -220,7 +362,7 @@ impl FusionPipeline {
                     f,
                     future_own_widths: &future_own_widths,
                     compromised: cfg.compromised(),
-                    all_widths: &widths,
+                    all_widths: &self.widths,
                 };
                 let strategy = &mut self
                     .attacker
@@ -229,64 +371,55 @@ impl FusionPipeline {
                     .1;
                 let forged = strategy.forge(&ctx);
                 debug_assert!(
-                    (forged.width() - widths[sensor]).abs() < 1e-9,
+                    (forged.width() - self.widths[sensor]).abs() < 1e-9,
                     "strategies must preserve the public interval width"
                 );
                 forged
             } else {
                 correct_reading
             };
-            transmitted.push((sensor, interval));
+            out.transmitted.push((sensor, interval));
         }
+        out.order = order;
 
-        // Fusion and detection.
-        let intervals: Vec<Interval<f64>> = transmitted.iter().map(|(_, iv)| *iv).collect();
-        let fusion = marzullo::fuse(&intervals, f.min(intervals.len().saturating_sub(1)));
-        let estimate = fusion.as_ref().ok().map(|s| s.midpoint());
+        // Fusion and detection, through the pluggable interfaces.
+        self.intervals.clear();
+        self.intervals
+            .extend(out.transmitted.iter().map(|(_, iv)| *iv));
+        out.fusion = self.fuser.fuse(&self.intervals);
+        out.estimate = out.fusion.as_ref().ok().map(|s| s.midpoint());
 
-        let mut flagged = Vec::new();
-        let mut condemned = Vec::new();
-        if let Ok(fused) = &fusion {
-            if self.config.detection() != DetectionMode::Off {
-                let report = OverlapDetector.detect(&intervals, fused);
-                flagged = report
-                    .flagged
-                    .iter()
-                    .map(|&i| transmitted[i].0)
-                    .collect();
-            }
-            if let Some(window) = &mut self.windowed {
-                for (sensor, _) in &transmitted {
-                    let violated = flagged.contains(sensor);
-                    if window.record(*sensor, violated) == WindowVerdict::Condemned {
-                        // recorded; the full list is read below
-                    }
-                }
-                condemned = window.condemned();
-            }
+        // Hand the outcome's vectors to the detector as an assessment so
+        // findings land in place without allocating.
+        let mut assessment = RoundAssessment {
+            flagged: core::mem::take(&mut out.flagged),
+            condemned: core::mem::take(&mut out.condemned),
+        };
+        assessment.clear();
+        if let Ok(fused) = &out.fusion {
+            self.detector
+                .assess(&out.transmitted, fused, &mut assessment);
         }
-
-        RoundOutcome {
-            truth,
-            order,
-            transmitted,
-            fusion,
-            estimate,
-            flagged,
-            condemned,
-        }
+        out.flagged = assessment.flagged;
+        out.condemned = assessment.condemned;
     }
 }
 
-impl core::fmt::Debug for FusionPipeline {
+impl<F: Fuser<f64>> core::fmt::Debug for FusionPipeline<F> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("FusionPipeline")
             .field("sensors", &self.suite.len())
             .field("f", &self.config.f())
             .field("schedule", &self.config.schedule().name())
-            .field("attacker", &self.attacker.as_ref().map(|(c, s)| {
-                (c.compromised().to_vec(), s.name().to_string())
-            }))
+            .field("fuser", &self.fuser.name())
+            .field("detector", &self.detector.name())
+            .field(
+                "attacker",
+                &self
+                    .attacker
+                    .as_ref()
+                    .map(|(c, s)| (c.compromised().to_vec(), s.name().to_string())),
+            )
             .field("rounds", &self.round)
             .finish()
     }
@@ -295,8 +428,11 @@ impl core::fmt::Debug for FusionPipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::DetectionMode;
     use arsf_attack::strategies::{GreedyExtreme, PhantomOptimal, Side};
     use arsf_attack::Truthful;
+    use arsf_detect::{ImmediateDetector, NoDetector};
+    use arsf_fusion::{BrooksIyengarFuser, HullFuser, InverseVarianceFuser};
     use arsf_schedule::SchedulePolicy;
     use arsf_sensor::{FaultKind, FaultModel};
     use rand::rngs::StdRng;
@@ -386,11 +522,7 @@ mod tests {
         let mut honest = FusionPipeline::builder(arsf_sensor::suite::landshark())
             .config(PipelineConfig::new(1, SchedulePolicy::Ascending))
             .build();
-        let mut nominal = landshark_pipeline(
-            SchedulePolicy::Ascending,
-            &[0],
-            Box::new(Truthful),
-        );
+        let mut nominal = landshark_pipeline(SchedulePolicy::Ascending, &[0], Box::new(Truthful));
         for _ in 0..20 {
             let a = honest.run_round(10.0, &mut rng_a);
             let b = nominal.run_round(10.0, &mut rng_b);
@@ -473,7 +605,11 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(condemned_at, Some(2), "condemned after tolerance+1 = 3 rounds");
+        assert_eq!(
+            condemned_at,
+            Some(2),
+            "condemned after tolerance+1 = 3 rounds"
+        );
     }
 
     #[test]
@@ -503,5 +639,139 @@ mod tests {
         let s = format!("{p:?}");
         assert!(s.contains("phantom-optimal"));
         assert!(s.contains("ascending"));
+        assert!(s.contains("marzullo"));
+        assert!(s.contains("immediate"));
+    }
+
+    #[test]
+    fn any_fuser_drives_the_same_engine() {
+        // The acceptance shape of the redesign: heterogeneous fusers run
+        // through the identical entry point on identical rounds.
+        let mut rng = rng();
+        let mut hull = FusionPipeline::builder(arsf_sensor::suite::landshark())
+            .config(PipelineConfig::new(1, SchedulePolicy::Ascending))
+            .fuser(HullFuser)
+            .build();
+        let mut marzullo = FusionPipeline::builder(arsf_sensor::suite::landshark())
+            .config(PipelineConfig::new(1, SchedulePolicy::Ascending))
+            .build();
+        let mut rng2 = self::rng();
+        for _ in 0..20 {
+            let h = hull.run_round(10.0, &mut rng);
+            let m = marzullo.run_round(10.0, &mut rng2);
+            // Same readings (same seed), so the hull contains Marzullo.
+            assert!(h.fusion.unwrap().contains_interval(&m.fusion.unwrap()));
+        }
+        assert_eq!(Fuser::<f64>::name(hull.fuser()), "hull");
+    }
+
+    #[test]
+    fn boxed_dyn_fuser_works_in_the_engine() {
+        let mut rng = rng();
+        let fusers: Vec<Box<dyn Fuser<f64>>> = vec![
+            Box::new(MarzulloFuser::new(1)),
+            Box::new(BrooksIyengarFuser::new(1)),
+            Box::new(InverseVarianceFuser),
+        ];
+        for fuser in fusers {
+            let mut p = FusionPipeline::builder(arsf_sensor::suite::landshark())
+                .config(PipelineConfig::new(1, SchedulePolicy::Ascending))
+                .fuser(fuser)
+                .build();
+            let out = p.run_round(10.0, &mut rng);
+            assert!(out.fusion.is_ok(), "{} failed", p.fuser().name());
+        }
+    }
+
+    #[test]
+    fn custom_detector_overrides_the_config() {
+        let mut rng = rng();
+        let mut suite = arsf_sensor::suite::landshark();
+        suite.sensors_mut()[3] = suite.sensors()[3]
+            .clone()
+            .with_fault(FaultModel::new(FaultKind::Bias { offset: 50.0 }, 1.0));
+        // Config says Immediate, but the explicit NoDetector wins.
+        let mut p = FusionPipeline::builder(suite)
+            .config(PipelineConfig::new(1, SchedulePolicy::Ascending))
+            .detector(Box::new(NoDetector))
+            .build();
+        let out = p.run_round(10.0, &mut rng);
+        assert!(out.flagged.is_empty());
+        assert_eq!(p.detector().name(), "off");
+    }
+
+    #[test]
+    fn run_round_into_reuses_buffers_and_matches_run_round() {
+        let mut rng_a = rng();
+        let mut rng_b = rng();
+        let mut a = landshark_pipeline(
+            SchedulePolicy::Descending,
+            &[0],
+            Box::new(PhantomOptimal::new()),
+        );
+        let mut b = landshark_pipeline(
+            SchedulePolicy::Descending,
+            &[0],
+            Box::new(PhantomOptimal::new()),
+        );
+        let mut reused = RoundOutcome::default();
+        for round in 0..30 {
+            let fresh = a.run_round(10.0, &mut rng_a);
+            b.run_round_into(10.0, &mut rng_b, &mut reused);
+            assert_eq!(fresh.fusion, reused.fusion, "round {round}");
+            assert_eq!(fresh.transmitted, reused.transmitted);
+            assert_eq!(fresh.flagged, reused.flagged);
+            assert_eq!(fresh.condemned, reused.condemned);
+            assert_eq!(fresh.order, reused.order);
+            assert_eq!(fresh.estimate, reused.estimate);
+        }
+    }
+
+    #[test]
+    fn explicit_detector_with_immediate_semantics_matches_default() {
+        let mut rng_a = rng();
+        let mut rng_b = rng();
+        let mut default = FusionPipeline::builder(arsf_sensor::suite::landshark())
+            .config(PipelineConfig::new(1, SchedulePolicy::Ascending))
+            .build();
+        let mut explicit = FusionPipeline::builder(arsf_sensor::suite::landshark())
+            .config(PipelineConfig::new(1, SchedulePolicy::Ascending))
+            .fuser(MarzulloFuser::new(1))
+            .detector(Box::new(ImmediateDetector))
+            .build();
+        for _ in 0..20 {
+            let a = default.run_round(10.0, &mut rng_a);
+            let b = explicit.run_round(10.0, &mut rng_b);
+            assert_eq!(a.fusion, b.fusion);
+            assert_eq!(a.flagged, b.flagged);
+        }
+    }
+
+    #[test]
+    fn reset_clears_fuser_detector_and_round_state() {
+        let mut rng = rng();
+        let mut suite = arsf_sensor::suite::landshark();
+        suite.sensors_mut()[2] = suite.sensors()[2]
+            .clone()
+            .with_fault(FaultModel::new(FaultKind::Bias { offset: 30.0 }, 1.0));
+        let mut p = FusionPipeline::builder(suite)
+            .config(
+                PipelineConfig::new(1, SchedulePolicy::Ascending).with_detection(
+                    DetectionMode::Windowed {
+                        window: 5,
+                        tolerance: 0,
+                    },
+                ),
+            )
+            .build();
+        let out = p.run_round(10.0, &mut rng);
+        assert_eq!(out.condemned, vec![2]);
+        p.reset();
+        assert_eq!(p.rounds(), 0);
+        // A healthy suite view: the condemned state was wiped, so the
+        // first post-reset round reports no standing condemnations beyond
+        // the fresh violation.
+        let out = p.run_round(10.0, &mut rng);
+        assert_eq!(out.condemned, vec![2], "re-condemned from fresh state");
     }
 }

@@ -1,0 +1,397 @@
+//! Batch execution of declarative scenarios.
+//!
+//! [`ScenarioRunner`] materialises a [`Scenario`] into the generic
+//! engine and drives it round by round, either streaming
+//! ([`ScenarioRunner::step_into`]) or in batches into preallocated,
+//! reusable [`RoundOutcome`] buffers ([`ScenarioRunner::run_batch`]) —
+//! the shape the benchmarks use for allocation-free sweeps. A
+//! [`BatchSummary`] aggregates the statistics the experiment harnesses
+//! report.
+
+use arsf_fusion::Fuser;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::metrics::WidthStats;
+use crate::scenario::Scenario;
+use crate::{FusionPipeline, RoundOutcome};
+
+/// Aggregated results of one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSummary {
+    /// The scenario's name.
+    pub scenario: String,
+    /// The fuser that ran (report name).
+    pub fuser: String,
+    /// The detector that ran (report name).
+    pub detector: String,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Width statistics over rounds whose fusion succeeded.
+    pub widths: WidthStats,
+    /// Rounds whose fused interval did **not** contain the ground truth.
+    pub truth_lost: u64,
+    /// Rounds where fusion failed outright.
+    pub fusion_failures: u64,
+    /// Rounds where the detector flagged at least one sensor.
+    pub flagged_rounds: u64,
+    /// Sensors condemned as of the last round whose fusion succeeded
+    /// (ascending ids) — detection only runs on fused rounds.
+    pub condemned: Vec<usize>,
+}
+
+impl BatchSummary {
+    fn new(scenario: &Scenario, fuser: &str, detector: &str) -> Self {
+        Self {
+            scenario: scenario.name.clone(),
+            fuser: fuser.to_string(),
+            detector: detector.to_string(),
+            rounds: 0,
+            widths: WidthStats::new(),
+            truth_lost: 0,
+            fusion_failures: 0,
+            flagged_rounds: 0,
+            condemned: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, out: &RoundOutcome) {
+        self.rounds += 1;
+        match &out.fusion {
+            Ok(fused) => {
+                self.widths.record(fused.width());
+                if !fused.contains(out.truth) {
+                    self.truth_lost += 1;
+                }
+                // Detection only runs on fused rounds, so only they carry
+                // an up-to-date condemned set; a failed round must not
+                // erase standing condemnations held by the detector.
+                self.condemned.clear();
+                self.condemned.extend_from_slice(&out.condemned);
+            }
+            Err(_) => self.fusion_failures += 1,
+        }
+        if !out.flagged.is_empty() {
+            self.flagged_rounds += 1;
+        }
+    }
+
+    /// Fraction of fused rounds that lost the truth (0 when no round
+    /// fused).
+    pub fn truth_loss_rate(&self) -> f64 {
+        let fused = self.rounds - self.fusion_failures;
+        if fused == 0 {
+            0.0
+        } else {
+            self.truth_lost as f64 / fused as f64
+        }
+    }
+}
+
+/// Executes one [`Scenario`] through the generic engine.
+///
+/// The runner owns the materialised pipeline (boxed fuser + detector)
+/// and the scenario's deterministic RNG; two runners built from equal
+/// scenarios produce identical outcome streams.
+///
+/// # Example
+///
+/// ```
+/// use arsf_core::scenario::{self, Scenario, SuiteSpec};
+/// use arsf_core::{RoundOutcome, ScenarioRunner};
+///
+/// let scenario = scenario::find("landshark-honest").expect("preset");
+/// let mut runner = ScenarioRunner::new(&scenario);
+/// // Reusable buffers: allocate once, sweep as many batches as needed.
+/// let mut outcomes: Vec<RoundOutcome> = Vec::new();
+/// let summary = runner.run_batch(100, &mut outcomes);
+/// assert_eq!(outcomes.len(), 100);
+/// assert_eq!(summary.fusion_failures, 0);
+/// assert_eq!(summary.truth_lost, 0, "honest rounds keep the truth");
+/// ```
+#[derive(Debug)]
+pub struct ScenarioRunner {
+    scenario: Scenario,
+    pipeline: FusionPipeline<Box<dyn Fuser<f64>>>,
+    rng: StdRng,
+    round: u64,
+}
+
+impl ScenarioRunner {
+    /// Materialises a scenario (cloned) into a runnable engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario references sensor indices outside its
+    /// suite (see [`Scenario::build_pipeline`]).
+    pub fn new(scenario: &Scenario) -> Self {
+        Self {
+            scenario: scenario.clone(),
+            pipeline: scenario.build_pipeline(),
+            rng: StdRng::seed_from_u64(scenario.seed),
+            round: 0,
+        }
+    }
+
+    /// The scenario being executed.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// Runs one round into a reusable outcome buffer.
+    pub fn step_into(&mut self, out: &mut RoundOutcome) {
+        let truth = self.scenario.truth.at(self.round);
+        self.pipeline.run_round_into(truth, &mut self.rng, out);
+        self.round += 1;
+    }
+
+    /// Runs `rounds` rounds into preallocated, reusable outcome buffers.
+    ///
+    /// `outcomes` is resized to `rounds` (existing buffers are reused in
+    /// place; missing ones are default-constructed once) and every entry
+    /// is overwritten. Returns the batch's aggregated summary. Repeated
+    /// calls continue the scenario where the previous batch stopped.
+    pub fn run_batch(&mut self, rounds: usize, outcomes: &mut Vec<RoundOutcome>) -> BatchSummary {
+        outcomes.resize_with(rounds, RoundOutcome::default);
+        let mut summary = self.summary_shell();
+        for out in outcomes.iter_mut() {
+            self.step_into(out);
+            summary.record(out);
+        }
+        summary
+    }
+
+    /// Runs the scenario's configured round count, aggregating without
+    /// retaining per-round outcomes (one reused buffer).
+    pub fn run(&mut self) -> BatchSummary {
+        let mut out = RoundOutcome::default();
+        let mut summary = self.summary_shell();
+        for _ in 0..self.scenario.rounds {
+            self.step_into(&mut out);
+            summary.record(&out);
+        }
+        summary
+    }
+
+    /// Restarts the run: fuser/detector state, round counter and RNG
+    /// return to the scenario's initial state.
+    pub fn reset(&mut self) {
+        self.pipeline.reset();
+        self.rng = StdRng::seed_from_u64(self.scenario.seed);
+        self.round = 0;
+    }
+
+    fn summary_shell(&self) -> BatchSummary {
+        BatchSummary::new(
+            &self.scenario,
+            self.pipeline.fuser().name(),
+            self.pipeline.detector().name(),
+        )
+    }
+}
+
+/// Runs every scenario to completion and returns their summaries — the
+/// one-call entry point for cross-algorithm comparison sweeps.
+pub fn run_all(scenarios: &[Scenario]) -> Vec<BatchSummary> {
+    scenarios
+        .iter()
+        .map(|s| ScenarioRunner::new(s).run())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{self, AttackerSpec, FuserSpec, StrategySpec, SuiteSpec};
+    use crate::DetectionMode;
+    use arsf_schedule::SchedulePolicy;
+
+    fn quick(name: &str) -> Scenario {
+        Scenario::new(name, SuiteSpec::Landshark).with_rounds(200)
+    }
+
+    #[test]
+    fn equal_scenarios_produce_identical_streams() {
+        let scenario = quick("det").with_attacker(AttackerSpec::Fixed {
+            sensors: vec![0],
+            strategy: StrategySpec::PhantomOptimal,
+        });
+        let mut a = ScenarioRunner::new(&scenario);
+        let mut b = ScenarioRunner::new(&scenario);
+        let mut out_a = RoundOutcome::default();
+        let mut out_b = RoundOutcome::default();
+        for _ in 0..50 {
+            a.step_into(&mut out_a);
+            b.step_into(&mut out_b);
+            assert_eq!(out_a.fusion, out_b.fusion);
+            assert_eq!(out_a.transmitted, out_b.transmitted);
+        }
+    }
+
+    #[test]
+    fn run_batch_reuses_and_resizes_buffers() {
+        let mut runner = ScenarioRunner::new(&quick("batch"));
+        let mut outcomes = Vec::new();
+        let s1 = runner.run_batch(64, &mut outcomes);
+        assert_eq!(outcomes.len(), 64);
+        assert_eq!(s1.rounds, 64);
+        // Shrinking and growing both reuse what is there.
+        let s2 = runner.run_batch(16, &mut outcomes);
+        assert_eq!(outcomes.len(), 16);
+        assert_eq!(s2.rounds, 16);
+        assert_eq!(runner.rounds(), 80, "batches continue the run");
+        for out in &outcomes {
+            assert!(out.fusion.is_ok());
+        }
+    }
+
+    #[test]
+    fn reset_reproduces_the_first_batch() {
+        let scenario = quick("reset").with_schedule(SchedulePolicy::Random);
+        let mut runner = ScenarioRunner::new(&scenario);
+        let mut first = Vec::new();
+        runner.run_batch(20, &mut first);
+        let firsts: Vec<_> = first.iter().map(|o| o.fusion).collect();
+        runner.reset();
+        let mut again = Vec::new();
+        runner.run_batch(20, &mut again);
+        let againsts: Vec<_> = again.iter().map(|o| o.fusion).collect();
+        assert_eq!(firsts, againsts);
+    }
+
+    #[test]
+    fn summaries_expose_fuser_and_detector_names() {
+        let summary = ScenarioRunner::new(
+            &quick("names")
+                .with_fuser(FuserSpec::Hull)
+                .with_detector(DetectionMode::Off),
+        )
+        .run();
+        assert_eq!(summary.fuser, "hull");
+        assert_eq!(summary.detector, "off");
+        assert_eq!(summary.rounds, 200);
+        assert_eq!(summary.truth_loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn every_stock_fuser_and_detector_runs_through_one_entry_point() {
+        // The redesign's acceptance criterion, in crate-level miniature:
+        // 7 fusers × 3 detectors through the same ScenarioRunner::run.
+        let fusers = [
+            FuserSpec::Marzullo,
+            FuserSpec::BrooksIyengar,
+            FuserSpec::Intersection,
+            FuserSpec::Hull,
+            FuserSpec::InverseVariance,
+            FuserSpec::MidpointMedian,
+            FuserSpec::Historical {
+                max_rate: 3.5,
+                dt: 0.1,
+            },
+        ];
+        let detectors = [
+            DetectionMode::Off,
+            DetectionMode::Immediate,
+            DetectionMode::Windowed {
+                window: 10,
+                tolerance: 3,
+            },
+        ];
+        for fuser in &fusers {
+            for detector in &detectors {
+                let summary = ScenarioRunner::new(
+                    &quick("grid")
+                        .with_rounds(40)
+                        .with_fuser(fuser.clone())
+                        .with_detector(*detector),
+                )
+                .run();
+                assert_eq!(summary.rounds, 40, "{}/{}", summary.fuser, summary.detector);
+                assert_eq!(
+                    summary.fusion_failures, 0,
+                    "{}/{} failed rounds",
+                    summary.fuser, summary.detector
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_all_covers_the_registry() {
+        let mut presets = scenario::registry();
+        for p in &mut presets {
+            p.rounds = 30; // keep the sweep fast in debug builds
+        }
+        let summaries = run_all(&presets);
+        assert_eq!(summaries.len(), presets.len());
+        for (preset, summary) in presets.iter().zip(&summaries) {
+            assert_eq!(summary.scenario, preset.name);
+            assert_eq!(summary.rounds, 30);
+        }
+    }
+
+    #[test]
+    fn historical_fuser_degrades_on_silenced_rounds_like_marzullo() {
+        // A permanently-silent sensor leaves n = 1 with f = 1: every
+        // engine-facing fuser must clamp the budget instead of erroring.
+        let base = Scenario::new("silenced", SuiteSpec::Widths(vec![2.0, 2.0]))
+            .with_fault(
+                0,
+                arsf_sensor::FaultModel::new(arsf_sensor::FaultKind::Silent, 1.0),
+            )
+            .with_rounds(50);
+        for fuser in [
+            FuserSpec::Marzullo,
+            FuserSpec::Historical {
+                max_rate: 100.0,
+                dt: 0.1,
+            },
+        ] {
+            let summary = ScenarioRunner::new(&base.clone().with_fuser(fuser.clone())).run();
+            assert_eq!(
+                summary.fusion_failures, 0,
+                "{} must clamp f on silenced rounds",
+                summary.fuser
+            );
+            assert_eq!(summary.truth_lost, 0);
+        }
+    }
+
+    #[test]
+    fn failed_round_does_not_erase_standing_condemnations() {
+        use arsf_interval::Interval;
+        let scenario = quick("condemn");
+        let mut summary = BatchSummary::new(&scenario, "marzullo", "windowed");
+        let mut fused_round = RoundOutcome {
+            truth: 10.0,
+            fusion: Ok(Interval::new(9.0, 11.0).unwrap()),
+            ..RoundOutcome::default()
+        };
+        fused_round.condemned.push(2);
+        summary.record(&fused_round);
+        // A failed round carries no assessment; the detector still holds
+        // sensor 2 condemned, and the summary must keep reporting it.
+        summary.record(&RoundOutcome::default());
+        assert_eq!(summary.condemned, vec![2]);
+        assert_eq!(summary.fusion_failures, 1);
+    }
+
+    #[test]
+    fn attacked_descending_widens_relative_to_ascending() {
+        // The paper's schedule result through the declarative API.
+        let base = quick("sched").with_attacker(AttackerSpec::Fixed {
+            sensors: vec![0],
+            strategy: StrategySpec::PhantomOptimal,
+        });
+        let asc = ScenarioRunner::new(&base.clone().with_schedule(SchedulePolicy::Ascending)).run();
+        let desc = ScenarioRunner::new(&base.with_schedule(SchedulePolicy::Descending)).run();
+        assert!(desc.widths.mean() > asc.widths.mean());
+        assert_eq!(asc.truth_lost, 0, "fa <= f keeps the truth");
+        assert_eq!(desc.truth_lost, 0, "fa <= f keeps the truth");
+    }
+}

@@ -1,0 +1,499 @@
+//! Declarative scenario descriptions and the named-preset registry.
+//!
+//! A [`Scenario`] captures *everything* one experiment needs — sensor
+//! suite, fault injection, attacker, transmission schedule, fusion
+//! algorithm, detector, ground-truth trajectory, round count and RNG
+//! seed — as plain data. The [`ScenarioRunner`](crate::ScenarioRunner)
+//! materialises it into a [`FusionPipeline`](crate::FusionPipeline) over
+//! boxed [`Fuser`]/[`Detector`](arsf_detect::Detector) trait objects, so
+//! any combination of the stock algorithms (and any user-supplied
+//! implementation, via [`Scenario::build_pipeline`] plus the builder)
+//! runs through the same engine entry point.
+//!
+//! [`registry`] holds the named presets used across the examples, tests
+//! and benches: the LandShark case study under each schedule, the
+//! detection ablations, and the algorithm-comparison sweeps.
+
+use arsf_attack::strategies::{GreedyExtreme, PhantomOptimal, Side};
+use arsf_attack::{AttackStrategy, AttackerConfig, Truthful};
+use arsf_fusion::historical::{DynamicsBound, HistoricalFuser};
+use arsf_fusion::{
+    BrooksIyengarFuser, Fuser, HullFuser, IntersectionFuser, InverseVarianceFuser, MarzulloFuser,
+    MidpointMedianFuser,
+};
+use arsf_schedule::SchedulePolicy;
+use arsf_sensor::{FaultModel, SensorSuite};
+
+use crate::{DetectionMode, FusionPipeline, PipelineConfig};
+
+/// Which sensor suite a scenario instantiates.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SuiteSpec {
+    /// The LandShark case-study suite (two encoders, GPS, camera).
+    Landshark,
+    /// A uniform-noise suite with the given interval widths (the Table I
+    /// style `L = {…}` description).
+    Widths(Vec<f64>),
+}
+
+impl SuiteSpec {
+    /// Builds the suite.
+    pub fn build(&self) -> SensorSuite {
+        match self {
+            SuiteSpec::Landshark => arsf_sensor::suite::landshark(),
+            SuiteSpec::Widths(widths) => arsf_sensor::suite::from_widths(widths),
+        }
+    }
+
+    /// The number of sensors the built suite will have.
+    pub fn len(&self) -> usize {
+        match self {
+            SuiteSpec::Landshark => self.build().len(),
+            SuiteSpec::Widths(widths) => widths.len(),
+        }
+    }
+
+    /// Whether the built suite would be empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Which streaming attack strategy a scenario's attacker runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum StrategySpec {
+    /// The stealthy width-maximiser (never flagged).
+    PhantomOptimal,
+    /// Greedy extreme placement towards the high side.
+    GreedyHigh,
+    /// Greedy extreme placement towards the low side.
+    GreedyLow,
+    /// Transmit the correct reading (attack-infrastructure baseline).
+    Truthful,
+}
+
+impl StrategySpec {
+    /// Builds the strategy.
+    pub fn build(&self) -> Box<dyn AttackStrategy> {
+        match self {
+            StrategySpec::PhantomOptimal => Box::new(PhantomOptimal::new()),
+            StrategySpec::GreedyHigh => Box::new(GreedyExtreme::new(Side::High)),
+            StrategySpec::GreedyLow => Box::new(GreedyExtreme::new(Side::Low)),
+            StrategySpec::Truthful => Box::new(Truthful),
+        }
+    }
+}
+
+/// The scenario's attacker model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AttackerSpec {
+    /// No attacker (honest baseline).
+    None,
+    /// A fixed compromised set running one strategy for the whole run.
+    Fixed {
+        /// Compromised sensor indices.
+        sensors: Vec<usize>,
+        /// The streaming strategy they execute.
+        strategy: StrategySpec,
+    },
+}
+
+/// Which fusion algorithm the scenario's engine runs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FuserSpec {
+    /// Marzullo's algorithm at the scenario's `f` (the paper's choice).
+    Marzullo,
+    /// Brooks–Iyengar hybrid fusion at the scenario's `f`.
+    BrooksIyengar,
+    /// Common intersection (`f = 0`): precise but brittle.
+    Intersection,
+    /// Convex hull (`f = n − 1`): never wrong, never precise.
+    Hull,
+    /// Inverse-variance weighted mean (probabilistic baseline, not
+    /// attack-resilient).
+    InverseVariance,
+    /// Midpoint median (classical robust baseline).
+    MidpointMedian,
+    /// Dynamics-aware historical Marzullo fusion at the scenario's `f`.
+    Historical {
+        /// Rate bound `|dx/dt| ≤ max_rate`.
+        max_rate: f64,
+        /// Inter-round period in seconds.
+        dt: f64,
+    },
+}
+
+impl FuserSpec {
+    /// Builds the fuser with the scenario's fault assumption `f`.
+    pub fn build(&self, f: usize) -> Box<dyn Fuser<f64>> {
+        match *self {
+            FuserSpec::Marzullo => Box::new(MarzulloFuser::new(f)),
+            FuserSpec::BrooksIyengar => Box::new(BrooksIyengarFuser::new(f)),
+            FuserSpec::Intersection => Box::new(IntersectionFuser),
+            FuserSpec::Hull => Box::new(HullFuser),
+            FuserSpec::InverseVariance => Box::new(InverseVarianceFuser),
+            FuserSpec::MidpointMedian => Box::new(MidpointMedianFuser),
+            FuserSpec::Historical { max_rate, dt } => {
+                Box::new(HistoricalFuser::new(f, DynamicsBound::new(max_rate), dt))
+            }
+        }
+    }
+
+    /// The built fuser's report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FuserSpec::Marzullo => "marzullo",
+            FuserSpec::BrooksIyengar => "brooks-iyengar",
+            FuserSpec::Intersection => "intersection",
+            FuserSpec::Hull => "hull",
+            FuserSpec::InverseVariance => "inverse-variance",
+            FuserSpec::MidpointMedian => "midpoint-median",
+            FuserSpec::Historical { .. } => "historical",
+        }
+    }
+}
+
+/// The ground-truth trajectory driving a scenario's rounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum TruthSpec {
+    /// The measured variable holds one value (the case study's cruise).
+    Constant(f64),
+    /// Linear drift: `start + rate_per_round · round`.
+    Ramp {
+        /// Value at round 0.
+        start: f64,
+        /// Per-round increment.
+        rate_per_round: f64,
+    },
+}
+
+impl TruthSpec {
+    /// The ground truth at a round index.
+    pub fn at(&self, round: u64) -> f64 {
+        match *self {
+            TruthSpec::Constant(v) => v,
+            TruthSpec::Ramp {
+                start,
+                rate_per_round,
+            } => start + rate_per_round * round as f64,
+        }
+    }
+}
+
+/// A complete, declarative experiment description.
+///
+/// # Example
+///
+/// ```
+/// use arsf_core::scenario::{FuserSpec, Scenario, SuiteSpec};
+/// use arsf_core::ScenarioRunner;
+///
+/// let scenario = Scenario::new("bi-demo", SuiteSpec::Landshark)
+///     .with_fuser(FuserSpec::BrooksIyengar)
+///     .with_rounds(50);
+/// let summary = ScenarioRunner::new(&scenario).run();
+/// assert_eq!(summary.fuser, "brooks-iyengar");
+/// assert_eq!(summary.rounds, 50);
+/// assert_eq!(summary.fusion_failures, 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Registry / report name.
+    pub name: String,
+    /// The sensor suite.
+    pub suite: SuiteSpec,
+    /// Fault models attached to sensors before the run, as
+    /// `(sensor index, fault)` pairs.
+    pub faults: Vec<(usize, FaultModel)>,
+    /// The attacker model.
+    pub attacker: AttackerSpec,
+    /// The communication schedule.
+    pub schedule: SchedulePolicy,
+    /// The fusion fault assumption `f`.
+    pub f: usize,
+    /// The fusion algorithm.
+    pub fuser: FuserSpec,
+    /// The detector.
+    pub detector: DetectionMode,
+    /// The ground-truth trajectory.
+    pub truth: TruthSpec,
+    /// Rounds per run.
+    pub rounds: u64,
+    /// RNG seed (runs are deterministic given the scenario).
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A scenario with the paper's defaults: `f = 1`, Ascending schedule,
+    /// Marzullo fusion, immediate detection, constant truth 10.0,
+    /// 1000 rounds, a fixed seed, no faults, no attacker.
+    pub fn new(name: impl Into<String>, suite: SuiteSpec) -> Self {
+        Self {
+            name: name.into(),
+            suite,
+            faults: Vec::new(),
+            attacker: AttackerSpec::None,
+            schedule: SchedulePolicy::Ascending,
+            f: 1,
+            fuser: FuserSpec::Marzullo,
+            detector: DetectionMode::Immediate,
+            truth: TruthSpec::Constant(10.0),
+            rounds: 1000,
+            seed: 2014,
+        }
+    }
+
+    /// Renames the scenario (builder style).
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Attaches a fault model to a sensor (builder style).
+    #[must_use]
+    pub fn with_fault(mut self, sensor: usize, fault: FaultModel) -> Self {
+        self.faults.push((sensor, fault));
+        self
+    }
+
+    /// Sets the attacker (builder style).
+    #[must_use]
+    pub fn with_attacker(mut self, attacker: AttackerSpec) -> Self {
+        self.attacker = attacker;
+        self
+    }
+
+    /// Sets the schedule (builder style).
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: SchedulePolicy) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the fault assumption `f` (builder style).
+    #[must_use]
+    pub fn with_f(mut self, f: usize) -> Self {
+        self.f = f;
+        self
+    }
+
+    /// Sets the fusion algorithm (builder style).
+    #[must_use]
+    pub fn with_fuser(mut self, fuser: FuserSpec) -> Self {
+        self.fuser = fuser;
+        self
+    }
+
+    /// Sets the detector (builder style).
+    #[must_use]
+    pub fn with_detector(mut self, detector: DetectionMode) -> Self {
+        self.detector = detector;
+        self
+    }
+
+    /// Sets the truth trajectory (builder style).
+    #[must_use]
+    pub fn with_truth(mut self, truth: TruthSpec) -> Self {
+        self.truth = truth;
+        self
+    }
+
+    /// Sets the round count (builder style).
+    #[must_use]
+    pub fn with_rounds(mut self, rounds: u64) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets the RNG seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Materialises the scenario into an engine over boxed trait objects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault or compromised-sensor index is out of range for
+    /// the suite.
+    pub fn build_pipeline(&self) -> FusionPipeline<Box<dyn Fuser<f64>>> {
+        let mut suite = self.suite.build();
+        for (sensor, fault) in &self.faults {
+            let sensors = suite.sensors_mut();
+            assert!(*sensor < sensors.len(), "fault sensor index out of range");
+            sensors[*sensor] = sensors[*sensor].clone().with_fault(*fault);
+        }
+        let config =
+            PipelineConfig::new(self.f, self.schedule.clone()).with_detection(self.detector);
+        let builder = FusionPipeline::builder(suite)
+            .config(config)
+            .fuser(self.fuser.build(self.f));
+        match &self.attacker {
+            AttackerSpec::None => builder.build(),
+            AttackerSpec::Fixed { sensors, strategy } => builder
+                .attacker(
+                    AttackerConfig::new(sensors.iter().copied(), self.f),
+                    strategy.build(),
+                )
+                .build(),
+        }
+    }
+}
+
+/// The built-in named presets: the case study under each schedule, the
+/// detection ablations, and algorithm-comparison scenarios.
+///
+/// Names are unique; [`find`] looks one up.
+pub fn registry() -> Vec<Scenario> {
+    let attacked = |schedule: SchedulePolicy| {
+        Scenario::new(
+            format!("landshark-{}-attacked", schedule.name()),
+            SuiteSpec::Landshark,
+        )
+        .with_schedule(schedule)
+        .with_attacker(AttackerSpec::Fixed {
+            sensors: vec![0],
+            strategy: StrategySpec::PhantomOptimal,
+        })
+    };
+    vec![
+        Scenario::new("landshark-honest", SuiteSpec::Landshark),
+        attacked(SchedulePolicy::Ascending),
+        attacked(SchedulePolicy::Descending),
+        attacked(SchedulePolicy::Random),
+        attacked(SchedulePolicy::Descending)
+            .named("landshark-descending-historical")
+            .with_fuser(FuserSpec::Historical {
+                max_rate: 3.5,
+                dt: 0.1,
+            }),
+        attacked(SchedulePolicy::Descending)
+            .named("landshark-descending-brooks-iyengar")
+            .with_fuser(FuserSpec::BrooksIyengar),
+        attacked(SchedulePolicy::Descending)
+            .named("ablation-detection-off")
+            .with_detector(DetectionMode::Off),
+        Scenario::new("ablation-windowed-gps-fault", SuiteSpec::Landshark)
+            .with_fault(
+                2,
+                FaultModel::new(arsf_sensor::FaultKind::Bias { offset: 3.0 }, 0.2),
+            )
+            .with_detector(DetectionMode::Windowed {
+                window: 20,
+                tolerance: 6,
+            }),
+        Scenario::new("table1-n3", SuiteSpec::Widths(vec![5.0, 11.0, 17.0]))
+            .with_attacker(AttackerSpec::Fixed {
+                sensors: vec![0],
+                strategy: StrategySpec::PhantomOptimal,
+            })
+            .with_truth(TruthSpec::Constant(0.0)),
+        Scenario::new("platoon-ramp", SuiteSpec::Landshark)
+            .with_truth(TruthSpec::Ramp {
+                start: 10.0,
+                rate_per_round: 0.002,
+            })
+            .with_attacker(AttackerSpec::Fixed {
+                sensors: vec![0],
+                strategy: StrategySpec::GreedyHigh,
+            }),
+    ]
+}
+
+/// Looks a preset up by name.
+pub fn find(name: &str) -> Option<Scenario> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        let presets = registry();
+        let mut names: Vec<&str> = presets.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate preset names");
+        for preset in &presets {
+            let found = find(&preset.name).expect("every preset resolves");
+            assert_eq!(&found, preset, "{} round-trips", preset.name);
+        }
+        assert!(find("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn suite_specs_build_correct_sizes() {
+        assert_eq!(
+            SuiteSpec::Landshark.build().len(),
+            SuiteSpec::Landshark.len()
+        );
+        let widths = SuiteSpec::Widths(vec![1.0, 2.0]);
+        assert_eq!(widths.build().len(), 2);
+        assert!(!widths.is_empty());
+    }
+
+    #[test]
+    fn fuser_specs_build_matching_names() {
+        let specs = [
+            FuserSpec::Marzullo,
+            FuserSpec::BrooksIyengar,
+            FuserSpec::Intersection,
+            FuserSpec::Hull,
+            FuserSpec::InverseVariance,
+            FuserSpec::MidpointMedian,
+            FuserSpec::Historical {
+                max_rate: 1.0,
+                dt: 0.1,
+            },
+        ];
+        for spec in specs {
+            assert_eq!(spec.build(1).name(), spec.name());
+        }
+    }
+
+    #[test]
+    fn truth_trajectories_evaluate() {
+        assert_eq!(TruthSpec::Constant(10.0).at(99), 10.0);
+        let ramp = TruthSpec::Ramp {
+            start: 1.0,
+            rate_per_round: 0.5,
+        };
+        assert_eq!(ramp.at(0), 1.0);
+        assert_eq!(ramp.at(4), 3.0);
+    }
+
+    #[test]
+    fn build_pipeline_applies_faults_and_attacker() {
+        let scenario = Scenario::new("t", SuiteSpec::Landshark)
+            .with_fault(2, FaultModel::new(arsf_sensor::FaultKind::Silent, 1.0))
+            .with_attacker(AttackerSpec::Fixed {
+                sensors: vec![0],
+                strategy: StrategySpec::Truthful,
+            });
+        let mut pipeline = scenario.build_pipeline();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+        let out = pipeline.run_round(10.0, &mut rng);
+        // The silenced GPS never transmits.
+        assert_eq!(out.transmitted.len(), 3);
+        assert!(out.transmitted.iter().all(|(s, _)| *s != 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "fault sensor index out of range")]
+    fn out_of_range_fault_panics() {
+        let _ = Scenario::new("t", SuiteSpec::Widths(vec![1.0]))
+            .with_fault(5, FaultModel::new(arsf_sensor::FaultKind::Silent, 1.0))
+            .build_pipeline();
+    }
+}

@@ -86,11 +86,7 @@ pub fn run_bus_round(
             cfg.compromised().iter().all(|&i| i < n),
             "compromised sensor index out of range"
         );
-        let own: Vec<Interval<f64>> = cfg
-            .compromised()
-            .iter()
-            .map(|&s| readings[s])
-            .collect();
+        let own: Vec<Interval<f64>> = cfg.compromised().iter().map(|&s| readings[s]).collect();
         let own_delta = delta(&own).expect("attacker controls at least one sensor");
         Rc::new(RefCell::new(AttackerBrain {
             cfg,
@@ -107,7 +103,7 @@ pub fn run_bus_round(
 
     // Sensor nodes: honest ones broadcast their reading; compromised ones
     // are attacker taps sharing the brain.
-    for sensor in 0..n {
+    for (sensor, &reading) in readings.iter().enumerate() {
         let node_id = NodeId::new(sensor);
         let frame_id = FrameId::new(0x100 + sensor as u32);
         let compromised = brain
@@ -118,12 +114,12 @@ pub fn run_bus_round(
                 id: node_id,
                 sensor,
                 frame_id,
-                own_correct: readings[sensor],
+                own_correct: reading,
                 brain: Rc::clone(brain.as_ref().expect("checked compromised")),
             }));
         } else {
             let mut node = FixedSensorNode::new(node_id, frame_id, sensor);
-            node.set_reading(readings[sensor]);
+            node.set_reading(reading);
             bus.add_node(Box::new(node));
         }
     }
@@ -157,10 +153,7 @@ pub fn run_bus_round(
         .downcast_ref::<ControllerNode>()
         .expect("controller node type");
     BusRound {
-        fusion: controller
-            .fusion
-            .clone()
-            .unwrap_or(Err(FusionError::EmptyInput)),
+        fusion: controller.fusion.unwrap_or(Err(FusionError::EmptyInput)),
         flagged: controller.flagged.clone(),
         transmitted,
         frames,
@@ -252,10 +245,7 @@ impl Node for AttackerSensorNode {
     }
 
     fn on_slot(&mut self, ctx: &mut NodeContext) {
-        let forged = self
-            .brain
-            .borrow_mut()
-            .forge(self.sensor, self.own_correct);
+        let forged = self.brain.borrow_mut().forge(self.sensor, self.own_correct);
         ctx.transmit(
             self.frame_id,
             Payload::Measurement {
@@ -297,8 +287,7 @@ impl Node for ControllerNode {
     }
 
     fn on_slot(&mut self, ctx: &mut NodeContext) {
-        let intervals: Vec<Interval<f64>> =
-            self.collected.iter().map(|(_, iv)| *iv).collect();
+        let intervals: Vec<Interval<f64>> = self.collected.iter().map(|(_, iv)| *iv).collect();
         debug_assert_eq!(intervals.len(), self.expected, "missing measurements");
         let fusion = marzullo::fuse(&intervals, self.f);
         if let Ok(fused) = &fusion {
@@ -383,9 +372,12 @@ mod tests {
             Box::new(PhantomOptimal::new()) as _,
         ));
         let round = run_bus_round(&r, &widths, &order, 1, attacked);
-        let attacked_width = round.fusion.clone().unwrap().width();
+        let attacked_width = round.fusion.unwrap().width();
         let honest_width = marzullo::fuse(&r, 1).unwrap().width();
-        assert!(round.flagged.is_empty(), "optimal attacker is never flagged");
+        assert!(
+            round.flagged.is_empty(),
+            "optimal attacker is never flagged"
+        );
         assert!(
             attacked_width >= honest_width,
             "attack {attacked_width} must not lose to honesty {honest_width}"

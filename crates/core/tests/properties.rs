@@ -12,9 +12,8 @@ use rand::SeedableRng;
 
 /// Random suite: 3..=6 sensors with radii in [0.1, 3.0].
 fn suite_strategy() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(1u32..30, 3..=6).prop_map(|radii| {
-        radii.into_iter().map(|r| r as f64 * 0.1).collect()
-    })
+    prop::collection::vec(1u32..30, 3..=6)
+        .prop_map(|radii| radii.into_iter().map(|r| r as f64 * 0.1).collect())
 }
 
 fn build_suite(radii: &[f64]) -> SensorSuite {

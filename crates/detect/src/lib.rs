@@ -12,6 +12,12 @@
 //! overlap check more than `k` times in a window of `w` rounds. That
 //! temporal detector is implemented in [`window`].
 //!
+//! The round engine in `arsf-core` drives detectors through the
+//! object-safe [`Detector`] trait ([`detector`]): [`NoDetector`],
+//! [`ImmediateDetector`] and [`WindowedDetector`] ship as stock
+//! implementations, and new detectors plug in without touching the
+//! engine.
+//!
 //! # Example
 //!
 //! ```
@@ -35,8 +41,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod detector;
 pub mod overlap;
 pub mod window;
 
+pub use detector::{Detector, ImmediateDetector, NoDetector, RoundAssessment};
 pub use overlap::{DetectionReport, OverlapDetector};
 pub use window::{WindowVerdict, WindowedDetector};

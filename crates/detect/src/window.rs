@@ -121,12 +121,21 @@ impl WindowedDetector {
 
     /// Indices of all condemned sensors.
     pub fn condemned(&self) -> Vec<usize> {
-        self.condemned
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c)
-            .map(|(i, _)| i)
-            .collect()
+        let mut out = Vec::new();
+        self.condemned_into(&mut out);
+        out
+    }
+
+    /// Appends the indices of all condemned sensors to `out` (ascending),
+    /// reusing the caller's allocation.
+    pub fn condemned_into(&self, out: &mut Vec<usize>) {
+        out.extend(
+            self.condemned
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c)
+                .map(|(i, _)| i),
+        );
     }
 
     /// Clears all history and condemnations (e.g. after replacing a

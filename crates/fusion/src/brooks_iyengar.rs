@@ -74,16 +74,17 @@ pub fn fuse<T: Scalar>(
     // between them) with coverage >= required, then merge consecutive
     // pieces of equal support into maximal constant-coverage regions.
     let mut regions: Vec<(Interval<T>, usize)> = Vec::new();
-    let push_piece = |piece: Interval<T>, support: usize, regions: &mut Vec<(Interval<T>, usize)>| {
-        if let Some((last, last_support)) = regions.last_mut() {
-            if *last_support == support && last.hi() == piece.lo() {
-                *last = Interval::new(last.lo(), piece.hi())
-                    .expect("merged regions keep endpoint order");
-                return;
+    let push_piece =
+        |piece: Interval<T>, support: usize, regions: &mut Vec<(Interval<T>, usize)>| {
+            if let Some((last, last_support)) = regions.last_mut() {
+                if *last_support == support && last.hi() == piece.lo() {
+                    *last = Interval::new(last.lo(), piece.hi())
+                        .expect("merged regions keep endpoint order");
+                    return;
+                }
             }
-        }
-        regions.push((piece, support));
-    };
+            regions.push((piece, support));
+        };
 
     let point_cov = map.point_coverages();
     let seg_cov = map.segment_coverages();

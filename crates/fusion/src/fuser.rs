@@ -1,18 +1,26 @@
 //! A uniform, object-safe interface over every interval fuser.
 //!
-//! The benchmark harness and the simulation pipeline need to swap fusion
-//! algorithms behind one interface (e.g. comparing attack impact on
-//! Marzullo vs Brooks–Iyengar vs plain intersection). [`Fuser`] is that
-//! interface; it is object-safe so heterogeneous fusers can live in a
-//! `Vec<Box<dyn Fuser<f64>>>`.
+//! The round engine in `arsf-core`, the benchmark harness and the
+//! simulation pipeline all swap fusion algorithms behind one interface
+//! (e.g. comparing attack impact on Marzullo vs Brooks–Iyengar vs
+//! historical vs weighted fusion). [`Fuser`] is that interface; it is
+//! object-safe so heterogeneous fusers can live in a
+//! `Vec<Box<dyn Fuser<f64>>>`, and it takes `&mut self` so *stateful*
+//! fusers (like [`HistoricalFuser`](crate::historical::HistoricalFuser),
+//! which carries the previous round's interval) plug in next to the
+//! memoryless ones.
 
 use arsf_interval::ops::{hull_all, intersection_all};
 use arsf_interval::{Interval, Scalar};
 
-use crate::{brooks_iyengar, marzullo, FusionError};
+use crate::{brooks_iyengar, marzullo, weighted, FusionError};
 
 /// An interval-fusion algorithm: `n` sensor intervals in, one fused
 /// interval out.
+///
+/// Implementations may keep state between rounds (history, estimator
+/// caches); [`Fuser::reset`] returns them to their initial state so one
+/// boxed fuser can be reused across scenario runs.
 ///
 /// # Example
 ///
@@ -21,14 +29,14 @@ use crate::{brooks_iyengar, marzullo, FusionError};
 /// use arsf_interval::Interval;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let fusers: Vec<Box<dyn Fuser<f64>>> =
+/// let mut fusers: Vec<Box<dyn Fuser<f64>>> =
 ///     vec![Box::new(MarzulloFuser::new(1)), Box::new(HullFuser)];
 /// let s = [
 ///     Interval::new(0.0, 2.0)?,
 ///     Interval::new(1.0, 3.0)?,
 ///     Interval::new(1.5, 2.5)?,
 /// ];
-/// for fuser in &fusers {
+/// for fuser in &mut fusers {
 ///     let fused = fuser.fuse(&s)?;
 ///     assert!(fused.width() <= 3.0);
 /// }
@@ -42,14 +50,44 @@ pub trait Fuser<T: Scalar> {
     ///
     /// Implementations return a [`FusionError`] when the input is empty or
     /// when their fault/agreement assumptions are violated.
-    fn fuse(&self, intervals: &[Interval<T>]) -> Result<Interval<T>, FusionError>;
+    fn fuse(&mut self, intervals: &[Interval<T>]) -> Result<Interval<T>, FusionError>;
 
     /// A short human-readable name for reports and benchmark labels.
     fn name(&self) -> &str;
+
+    /// Clears any state carried between rounds (no-op for memoryless
+    /// fusers).
+    fn reset(&mut self) {}
+}
+
+impl<T: Scalar, F: Fuser<T> + ?Sized> Fuser<T> for Box<F> {
+    fn fuse(&mut self, intervals: &[Interval<T>]) -> Result<Interval<T>, FusionError> {
+        (**self).fuse(intervals)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+}
+
+/// Clamps a configured fault assumption to the round's interval count so
+/// that sensors silenced by faults do not turn fusion into a
+/// [`FusionError::FaultCountTooLarge`] error (the engine's contract: the
+/// fault budget never exceeds `n − 1`).
+pub(crate) fn clamp_f(f: usize, n: usize) -> usize {
+    f.min(n.saturating_sub(1))
 }
 
 /// Marzullo's algorithm with a fixed fault assumption `f`
 /// (see [`marzullo::fuse`]).
+///
+/// Through the [`Fuser`] interface the fault assumption is clamped to
+/// `n − 1` for rounds with fewer than `f + 1` intervals, so a sensor
+/// silenced mid-run degrades the guarantee instead of erroring out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MarzulloFuser {
     f: usize,
@@ -68,8 +106,8 @@ impl MarzulloFuser {
 }
 
 impl<T: Scalar> Fuser<T> for MarzulloFuser {
-    fn fuse(&self, intervals: &[Interval<T>]) -> Result<Interval<T>, FusionError> {
-        marzullo::fuse(intervals, self.f)
+    fn fuse(&mut self, intervals: &[Interval<T>]) -> Result<Interval<T>, FusionError> {
+        marzullo::fuse(intervals, clamp_f(self.f, intervals.len()))
     }
 
     fn name(&self) -> &str {
@@ -79,7 +117,8 @@ impl<T: Scalar> Fuser<T> for MarzulloFuser {
 
 /// Brooks–Iyengar fusion with a fixed fault assumption `f`; exposes only
 /// the fused interval through the [`Fuser`] interface
-/// (see [`brooks_iyengar::fuse`] for the point estimate).
+/// (see [`brooks_iyengar::fuse`] for the point estimate). The fault
+/// assumption is clamped exactly as for [`MarzulloFuser`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BrooksIyengarFuser {
     f: usize,
@@ -98,8 +137,8 @@ impl BrooksIyengarFuser {
 }
 
 impl<T: Scalar> Fuser<T> for BrooksIyengarFuser {
-    fn fuse(&self, intervals: &[Interval<T>]) -> Result<Interval<T>, FusionError> {
-        brooks_iyengar::fuse(intervals, self.f).map(|out| out.interval)
+    fn fuse(&mut self, intervals: &[Interval<T>]) -> Result<Interval<T>, FusionError> {
+        brooks_iyengar::fuse(intervals, clamp_f(self.f, intervals.len())).map(|out| out.interval)
     }
 
     fn name(&self) -> &str {
@@ -113,7 +152,7 @@ impl<T: Scalar> Fuser<T> for BrooksIyengarFuser {
 pub struct IntersectionFuser;
 
 impl<T: Scalar> Fuser<T> for IntersectionFuser {
-    fn fuse(&self, intervals: &[Interval<T>]) -> Result<Interval<T>, FusionError> {
+    fn fuse(&mut self, intervals: &[Interval<T>]) -> Result<Interval<T>, FusionError> {
         if intervals.is_empty() {
             return Err(FusionError::EmptyInput);
         }
@@ -132,7 +171,7 @@ impl<T: Scalar> Fuser<T> for IntersectionFuser {
 pub struct HullFuser;
 
 impl<T: Scalar> Fuser<T> for HullFuser {
-    fn fuse(&self, intervals: &[Interval<T>]) -> Result<Interval<T>, FusionError> {
+    fn fuse(&mut self, intervals: &[Interval<T>]) -> Result<Interval<T>, FusionError> {
         hull_all(intervals).ok_or(FusionError::EmptyInput)
     }
 
@@ -141,9 +180,47 @@ impl<T: Scalar> Fuser<T> for HullFuser {
     }
 }
 
+/// Inverse-variance weighted point fusion viewed as an interval: the
+/// classical probabilistic baseline ([`weighted::inverse_variance`])
+/// reported as `[value − radius, value + radius]`.
+///
+/// **Not** attack-resilient — a single forged reading shifts the mean
+/// arbitrarily. It exists behind the [`Fuser`] interface precisely so
+/// scenario sweeps can quantify that weakness against the resilient
+/// fusers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct InverseVarianceFuser;
+
+impl Fuser<f64> for InverseVarianceFuser {
+    fn fuse(&mut self, intervals: &[Interval<f64>]) -> Result<Interval<f64>, FusionError> {
+        weighted::inverse_variance(intervals).map(|est| est.to_interval())
+    }
+
+    fn name(&self) -> &str {
+        "inverse-variance"
+    }
+}
+
+/// Midpoint-median point fusion viewed as an interval — the classical
+/// robust location estimator ([`weighted::midpoint_median`]) behind the
+/// [`Fuser`] interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MidpointMedianFuser;
+
+impl Fuser<f64> for MidpointMedianFuser {
+    fn fuse(&mut self, intervals: &[Interval<f64>]) -> Result<Interval<f64>, FusionError> {
+        weighted::midpoint_median(intervals).map(|est| est.to_interval())
+    }
+
+    fn name(&self) -> &str {
+        "midpoint-median"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::historical::{DynamicsBound, HistoricalFuser};
 
     fn iv(lo: f64, hi: f64) -> Interval<f64> {
         Interval::new(lo, hi).unwrap()
@@ -155,16 +232,20 @@ mod tests {
 
     #[test]
     fn trait_objects_work() {
-        let fusers: Vec<Box<dyn Fuser<f64>>> = vec![
+        let mut fusers: Vec<Box<dyn Fuser<f64>>> = vec![
             Box::new(MarzulloFuser::new(1)),
             Box::new(BrooksIyengarFuser::new(1)),
             Box::new(IntersectionFuser),
             Box::new(HullFuser),
+            Box::new(InverseVarianceFuser),
+            Box::new(MidpointMedianFuser),
+            Box::new(HistoricalFuser::new(1, DynamicsBound::new(1.0), 0.1)),
         ];
         let s = sample();
-        for fuser in &fusers {
+        for fuser in &mut fusers {
             let fused = fuser.fuse(&s).unwrap();
             assert!(fused.width() >= 0.0, "{} produced {fused}", fuser.name());
+            fuser.reset();
         }
     }
 
@@ -172,9 +253,9 @@ mod tests {
     fn fusers_nest_as_expected() {
         // intersection ⊆ marzullo(f) ⊆ hull for any f.
         let s = sample();
-        let inter = Fuser::<f64>::fuse(&IntersectionFuser, &s).unwrap();
-        let marz = Fuser::<f64>::fuse(&MarzulloFuser::new(1), &s).unwrap();
-        let hull = Fuser::<f64>::fuse(&HullFuser, &s).unwrap();
+        let inter = Fuser::<f64>::fuse(&mut IntersectionFuser, &s).unwrap();
+        let marz = Fuser::<f64>::fuse(&mut MarzulloFuser::new(1), &s).unwrap();
+        let hull = Fuser::<f64>::fuse(&mut HullFuser, &s).unwrap();
         assert!(marz.contains_interval(&inter));
         assert!(hull.contains_interval(&marz));
     }
@@ -182,7 +263,7 @@ mod tests {
     #[test]
     fn intersection_fuser_errors_on_disagreement() {
         let s = [iv(0.0, 1.0), iv(2.0, 3.0)];
-        let err = Fuser::<f64>::fuse(&IntersectionFuser, &s).unwrap_err();
+        let err = Fuser::<f64>::fuse(&mut IntersectionFuser, &s).unwrap_err();
         assert_eq!(err, FusionError::NoAgreement { required: 2 });
     }
 
@@ -195,6 +276,8 @@ mod tests {
             Fuser::<f64>::name(&bi),
             Fuser::<f64>::name(&IntersectionFuser),
             Fuser::<f64>::name(&HullFuser),
+            Fuser::<f64>::name(&InverseVarianceFuser),
+            Fuser::<f64>::name(&MidpointMedianFuser),
         ];
         let mut unique = names.to_vec();
         unique.sort_unstable();
@@ -205,18 +288,56 @@ mod tests {
     #[test]
     fn empty_input_errors_everywhere() {
         let empty: [Interval<f64>; 0] = [];
-        assert!(Fuser::<f64>::fuse(&MarzulloFuser::new(0), &empty).is_err());
-        assert!(Fuser::<f64>::fuse(&BrooksIyengarFuser::new(0), &empty).is_err());
-        assert!(Fuser::<f64>::fuse(&IntersectionFuser, &empty).is_err());
-        assert!(Fuser::<f64>::fuse(&HullFuser, &empty).is_err());
+        assert!(Fuser::<f64>::fuse(&mut MarzulloFuser::new(0), &empty).is_err());
+        assert!(Fuser::<f64>::fuse(&mut BrooksIyengarFuser::new(0), &empty).is_err());
+        assert!(Fuser::<f64>::fuse(&mut IntersectionFuser, &empty).is_err());
+        assert!(Fuser::<f64>::fuse(&mut HullFuser, &empty).is_err());
+        assert!(Fuser::<f64>::fuse(&mut InverseVarianceFuser, &empty).is_err());
+        assert!(Fuser::<f64>::fuse(&mut MidpointMedianFuser, &empty).is_err());
     }
 
     #[test]
     fn brooks_iyengar_interval_equals_marzullo() {
         let s = sample();
         assert_eq!(
-            Fuser::<f64>::fuse(&BrooksIyengarFuser::new(1), &s).unwrap(),
-            Fuser::<f64>::fuse(&MarzulloFuser::new(1), &s).unwrap()
+            Fuser::<f64>::fuse(&mut BrooksIyengarFuser::new(1), &s).unwrap(),
+            Fuser::<f64>::fuse(&mut MarzulloFuser::new(1), &s).unwrap()
         );
+    }
+
+    #[test]
+    fn fault_assumption_is_clamped_to_the_round() {
+        // Two intervals with f = 2: the direct algorithm errors, the
+        // engine-facing trait clamps to f = 1 (a silenced-sensor round
+        // must not kill the pipeline).
+        let s = [iv(0.0, 2.0), iv(1.0, 3.0)];
+        assert!(marzullo::fuse(&s, 2).is_err());
+        let fused = Fuser::<f64>::fuse(&mut MarzulloFuser::new(2), &s).unwrap();
+        assert_eq!(fused, iv(0.0, 3.0));
+    }
+
+    #[test]
+    fn boxed_fusers_forward_all_methods() {
+        let mut boxed: Box<dyn Fuser<f64>> =
+            Box::new(HistoricalFuser::new(1, DynamicsBound::new(1.0), 0.1));
+        let first = boxed.fuse(&sample()).unwrap();
+        assert_eq!(boxed.name(), "historical");
+        boxed.reset();
+        // After reset the same round fuses memorylessly again.
+        assert_eq!(boxed.fuse(&sample()).unwrap(), first);
+    }
+
+    #[test]
+    fn weighted_fusers_are_not_attack_resilient() {
+        // The forged outlier drags inverse-variance away but not the
+        // median — exactly the contrast the paper's introduction draws.
+        let honest = [iv(9.5, 10.5), iv(9.0, 11.0), iv(9.8, 10.2)];
+        let attacked = [iv(9.5, 10.5), iv(9.0, 11.0), iv(99.8, 100.2)];
+        let iv_honest = Fuser::<f64>::fuse(&mut InverseVarianceFuser, &honest).unwrap();
+        let iv_attacked = Fuser::<f64>::fuse(&mut InverseVarianceFuser, &attacked).unwrap();
+        assert!((iv_attacked.midpoint() - iv_honest.midpoint()).abs() > 10.0);
+        let med_honest = Fuser::<f64>::fuse(&mut MidpointMedianFuser, &honest).unwrap();
+        let med_attacked = Fuser::<f64>::fuse(&mut MidpointMedianFuser, &attacked).unwrap();
+        assert!((med_attacked.midpoint() - med_honest.midpoint()).abs() < 1.0);
     }
 }

@@ -145,7 +145,15 @@ impl HistoricalFuser {
         &mut self,
         intervals: &[Interval<f64>],
     ) -> Result<HistoricalOutcome, FusionError> {
-        let memoryless = marzullo::fuse(intervals, self.f)?;
+        self.fuse_round_with_f(intervals, self.f)
+    }
+
+    fn fuse_round_with_f(
+        &mut self,
+        intervals: &[Interval<f64>],
+        f: usize,
+    ) -> Result<HistoricalOutcome, FusionError> {
+        let memoryless = marzullo::fuse(intervals, f)?;
         let (fused, history_conflict) = match self.history {
             None => (memoryless, false),
             Some(prev) => {
@@ -163,6 +171,28 @@ impl HistoricalFuser {
             fused,
             history_conflict,
         })
+    }
+}
+
+impl crate::Fuser<f64> for HistoricalFuser {
+    /// One engine round: memoryless Marzullo refined by propagated
+    /// history; only the refined interval is exposed (use
+    /// [`HistoricalFuser::fuse_round`] for the full
+    /// [`HistoricalOutcome`]). As for every engine-facing fuser, the
+    /// fault assumption is clamped to `n − 1` so a sensor silenced
+    /// mid-run degrades the guarantee instead of erroring out.
+    fn fuse(&mut self, intervals: &[Interval<f64>]) -> Result<Interval<f64>, FusionError> {
+        let clamped = crate::fuser::clamp_f(self.f, intervals.len());
+        self.fuse_round_with_f(intervals, clamped)
+            .map(|out| out.fused)
+    }
+
+    fn name(&self) -> &str {
+        "historical"
+    }
+
+    fn reset(&mut self) {
+        HistoricalFuser::reset(self);
     }
 }
 
@@ -265,12 +295,28 @@ mod tests {
     }
 
     #[test]
+    fn engine_facing_fuse_clamps_the_fault_budget() {
+        use crate::Fuser;
+        // One interval with f = 1: the stateful API errors (its contract),
+        // but the engine-facing trait clamps so a silenced-sensor round
+        // degrades instead of failing.
+        let mut fuser = HistoricalFuser::new(1, DynamicsBound::new(100.0), 0.1);
+        let single = [iv(9.0, 11.0)];
+        assert!(fuser.fuse_round(&single).is_err());
+        let fused = Fuser::fuse(&mut fuser, &single).unwrap();
+        assert_eq!(fused, iv(9.0, 11.0));
+    }
+
+    #[test]
     fn propagate_inflates_symmetrically() {
         let bound = DynamicsBound::new(2.0);
         let p = bound.propagate(&iv(0.0, 1.0), 0.5);
         assert_eq!(p, iv(-1.0, 2.0));
         // Zero rate: identity.
-        assert_eq!(DynamicsBound::new(0.0).propagate(&iv(0.0, 1.0), 9.0), iv(0.0, 1.0));
+        assert_eq!(
+            DynamicsBound::new(0.0).propagate(&iv(0.0, 1.0), 9.0),
+            iv(0.0, 1.0)
+        );
     }
 
     #[test]

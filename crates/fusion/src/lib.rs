@@ -19,7 +19,8 @@
 //! * [`historical`] — dynamics-aware fusion carrying the previous round's
 //!   interval forward (the authors' follow-up direction), which clips
 //!   forged extensions,
-//! * [`Fuser`] — an object-safe trait unifying all fusers for the
+//! * [`Fuser`] — an object-safe trait unifying all fusers (memoryless
+//!   and stateful) for the round engine, the scenario runner and the
 //!   benchmark harness.
 //!
 //! # Example
@@ -59,4 +60,7 @@ pub mod naive;
 pub mod weighted;
 
 pub use error::FusionError;
-pub use fuser::{BrooksIyengarFuser, Fuser, HullFuser, IntersectionFuser, MarzulloFuser};
+pub use fuser::{
+    BrooksIyengarFuser, Fuser, HullFuser, IntersectionFuser, InverseVarianceFuser, MarzulloFuser,
+    MidpointMedianFuser,
+};

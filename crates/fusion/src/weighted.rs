@@ -55,7 +55,9 @@ impl PointEstimate {
 /// # Ok(())
 /// # }
 /// ```
-pub fn inverse_variance<T: Scalar>(intervals: &[Interval<T>]) -> Result<PointEstimate, FusionError> {
+pub fn inverse_variance<T: Scalar>(
+    intervals: &[Interval<T>],
+) -> Result<PointEstimate, FusionError> {
     if intervals.is_empty() {
         return Err(FusionError::EmptyInput);
     }
@@ -133,10 +135,7 @@ pub fn midpoint_median<T: Scalar>(intervals: &[Interval<T>]) -> Result<PointEsti
         return Err(FusionError::EmptyInput);
     }
     let mut mids: Vec<f64> = intervals.iter().map(|s| s.midpoint().to_f64()).collect();
-    let mut halves: Vec<f64> = intervals
-        .iter()
-        .map(|s| s.width().to_f64() * 0.5)
-        .collect();
+    let mut halves: Vec<f64> = intervals.iter().map(|s| s.width().to_f64() * 0.5).collect();
     Ok(PointEstimate {
         value: median_in_place(&mut mids),
         radius: median_in_place(&mut halves),

@@ -13,11 +13,10 @@ fn grid_interval() -> impl Strategy<Value = Interval<i64>> {
 }
 
 fn configs() -> impl Strategy<Value = (Vec<Interval<i64>>, usize)> {
-    prop::collection::vec(grid_interval(), 1..=9)
-        .prop_flat_map(|xs| {
-            let n = xs.len();
-            (Just(xs), 0..n)
-        })
+    prop::collection::vec(grid_interval(), 1..=9).prop_flat_map(|xs| {
+        let n = xs.len();
+        (Just(xs), 0..n)
+    })
 }
 
 /// A family of intervals all containing a common "true value", plus a
@@ -31,9 +30,7 @@ fn truth_anchored() -> impl Strategy<Value = (Vec<Interval<i64>>, Vec<Interval<i
         .prop_map(|(truth, correct_shapes, faulty)| {
             let correct: Vec<Interval<i64>> = correct_shapes
                 .into_iter()
-                .map(|(left, right)| {
-                    Interval::new(truth - left, truth + right).expect("ordered")
-                })
+                .map(|(left, right)| Interval::new(truth - left, truth + right).expect("ordered"))
                 .collect();
             (correct, faulty, truth)
         })

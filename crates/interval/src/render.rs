@@ -131,7 +131,11 @@ impl Diagram {
             .map(|r| r.interval.hi())
             .fold(f64::NEG_INFINITY, f64::max);
         let span = if hi > lo { hi - lo } else { 1.0 };
-        let label_width = rows.iter().map(|r| r.label.chars().count()).max().unwrap_or(0);
+        let label_width = rows
+            .iter()
+            .map(|r| r.label.chars().count())
+            .max()
+            .unwrap_or(0);
         let scale = |x: f64| -> usize {
             let t = (x - lo) / span;
             ((t * (columns - 1) as f64).round() as usize).min(columns - 1)

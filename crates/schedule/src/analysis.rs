@@ -107,7 +107,11 @@ pub fn exposure(order: &TransmissionOrder, attacked: &[usize], f: usize) -> Expo
     for (k, &slot) in attacked_slots.iter().enumerate() {
         let sensor = order[slot];
         let sent_before = slot;
-        let correct_seen = order.before(slot).iter().filter(|&&s| !is_attacked(s)).count();
+        let correct_seen = order
+            .before(slot)
+            .iter()
+            .filter(|&&s| !is_attacked(s))
+            .count();
         let unsent_attacked = total_attacked - k;
         // Paper, Section III-A: active mode requires
         //   sent >= n - f - far.
@@ -123,9 +127,7 @@ pub fn exposure(order: &TransmissionOrder, attacked: &[usize], f: usize) -> Expo
         });
     }
 
-    let consecutive = slots
-        .windows(2)
-        .all(|w| w[1].slot == w[0].slot + 1);
+    let consecutive = slots.windows(2).all(|w| w[1].slot == w[0].slot + 1);
 
     ExposureReport {
         slots,
@@ -175,12 +177,7 @@ pub fn mean_exposure_single_attack(order: &TransmissionOrder, f: usize) -> f64 {
 /// The score is a heuristic ranking device, not an expectation; the exact
 /// expectations live in the `arsf-attack` expectimax engine. Its value is
 /// that it is closed-form, so whole permutation spaces can be searched.
-pub fn exposure_risk(
-    order: &TransmissionOrder,
-    widths: &[f64],
-    f: usize,
-    trusted: &[bool],
-) -> f64 {
+pub fn exposure_risk(order: &TransmissionOrder, widths: &[f64], f: usize, trusted: &[bool]) -> f64 {
     let mut score = 0.0;
     for sensor in 0..order.len() {
         if trusted.get(sensor).copied().unwrap_or(false) {
@@ -406,6 +403,9 @@ mod tests {
         let rev = TransmissionOrder::new(vec![4, 3, 2, 1, 0]).unwrap();
         assert_eq!(mean_exposure_single_attack(&id, 2), 2.0);
         assert_eq!(mean_exposure_single_attack(&rev, 2), 2.0);
-        assert_eq!(mean_exposure_single_attack(&TransmissionOrder::identity(0), 1), 0.0);
+        assert_eq!(
+            mean_exposure_single_attack(&TransmissionOrder::identity(0), 1),
+            0.0
+        );
     }
 }

@@ -71,7 +71,11 @@ impl SchedulePolicy {
                 order.clone()
             }
             SchedulePolicy::Rotating(base) => {
-                assert_eq!(base.len(), n, "rotating order length must match sensor count");
+                assert_eq!(
+                    base.len(),
+                    n,
+                    "rotating order length must match sensor count"
+                );
                 base.rotated((round % n.max(1) as u64) as usize)
             }
         }

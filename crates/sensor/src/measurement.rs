@@ -56,11 +56,7 @@ mod tests {
 
     #[test]
     fn correctness_is_interval_membership() {
-        let m = Measurement::new(
-            SensorId::new(0),
-            5.0,
-            Interval::new(4.0, 6.0).unwrap(),
-        );
+        let m = Measurement::new(SensorId::new(0), 5.0, Interval::new(4.0, 6.0).unwrap());
         assert!(m.is_correct(4.0));
         assert!(m.is_correct(6.0));
         assert!(!m.is_correct(6.01));

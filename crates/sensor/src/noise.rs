@@ -191,7 +191,9 @@ mod tests {
     #[test]
     fn gaussian_clipping_keeps_extremes_in_range() {
         let mut rng = rng();
-        let m = NoiseModel::ClippedGaussian { sigma_fraction: 5.0 };
+        let m = NoiseModel::ClippedGaussian {
+            sigma_fraction: 5.0,
+        };
         for _ in 0..1000 {
             let x = m.sample_offset(1.0, &mut rng);
             assert!((-1.0..=1.0).contains(&x));

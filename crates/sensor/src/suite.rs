@@ -93,10 +93,26 @@ impl SensorSuite {
     /// Samples every sensor at the given ground truth, skipping sensors
     /// silenced by a firing [`crate::FaultKind::Silent`] fault.
     pub fn sample_all<R: Rng + ?Sized>(&mut self, truth: f64, rng: &mut R) -> Vec<Measurement> {
-        self.sensors
-            .iter_mut()
-            .filter_map(|s| s.try_sample(truth, rng))
-            .collect()
+        let mut out = Vec::with_capacity(self.sensors.len());
+        self.sample_all_into(truth, rng, &mut out);
+        out
+    }
+
+    /// [`SensorSuite::sample_all`] writing into a caller-owned buffer, so
+    /// a round engine can sample every control period without
+    /// reallocating. The buffer is cleared first.
+    pub fn sample_all_into<R: Rng + ?Sized>(
+        &mut self,
+        truth: f64,
+        rng: &mut R,
+        out: &mut Vec<Measurement>,
+    ) {
+        out.clear();
+        out.extend(
+            self.sensors
+                .iter_mut()
+                .filter_map(|s| s.try_sample(truth, rng)),
+        );
     }
 }
 

@@ -106,12 +106,11 @@ pub fn run(config: &FaultAttackConfig) -> FaultAttackReport {
             config.fault_probability,
         ));
 
-    let pipeline_config = PipelineConfig::new(1, config.schedule.clone()).with_detection(
-        DetectionMode::Windowed {
+    let pipeline_config =
+        PipelineConfig::new(1, config.schedule.clone()).with_detection(DetectionMode::Windowed {
             window: config.window,
             tolerance: config.tolerance,
-        },
-    );
+        });
     let builder = FusionPipeline::builder(suite).config(pipeline_config);
     let mut pipeline = match config.attacked {
         Some(sensor) => builder

@@ -1,13 +1,22 @@
 //! The LandShark: one autonomous vehicle with the case study's sensor
 //! suite, fusion pipeline, PI speed controller and safety supervisor.
+//!
+//! The vehicle owns **one persistent** [`FusionPipeline`] over a boxed
+//! [`Fuser`]: plain Marzullo by default, or the dynamics-aware
+//! [`HistoricalFuser`] when [`LandSharkConfig::history`] is set — the
+//! follow-up defence runs *through* the engine rather than as a bolt-on
+//! refinement, so detection also sees the refined interval. Per-round
+//! attacker changes (the case study's "any sensor can be attacked") go
+//! through [`FusionPipeline::set_attacker`] instead of rebuilding the
+//! engine.
 
 use arsf_attack::strategies::PhantomOptimal;
 use arsf_attack::AttackerConfig;
 use arsf_core::{FusionPipeline, PipelineConfig, RoundOutcome};
 use arsf_fusion::historical::{DynamicsBound, HistoricalFuser};
+use arsf_fusion::{Fuser, MarzulloFuser};
 use arsf_interval::Interval;
 use arsf_schedule::SchedulePolicy;
-use arsf_sensor::SensorSuite;
 use rand::Rng;
 
 use crate::controller::PiController;
@@ -47,8 +56,9 @@ pub struct LandSharkConfig {
     /// Vehicle parameters.
     pub vehicle: VehicleParams,
     /// Optional dynamics-aware historical fusion (the follow-up defence):
-    /// the supervisor vets the fusion interval refined by the previous
-    /// round's interval propagated through this rate bound.
+    /// the engine fuses with [`HistoricalFuser`] under this rate bound,
+    /// so the supervisor and the detector both see the interval refined
+    /// by the previous round's propagated evidence.
     pub history: Option<DynamicsBound>,
 }
 
@@ -100,16 +110,15 @@ pub struct StepRecord {
     pub attacked: Option<usize>,
 }
 
-/// A LandShark instance: vehicle + sensors + fusion + control.
+/// A LandShark instance: vehicle + sensors + fusion engine + control.
 #[derive(Debug)]
 pub struct LandShark {
     config: LandSharkConfig,
-    suite: SensorSuite,
+    pipeline: FusionPipeline<Box<dyn Fuser<f64>>>,
     vehicle: Vehicle,
     pi: PiController,
     supervisor: Supervisor,
-    historical: Option<HistoricalFuser>,
-    round: u64,
+    outcome: RoundOutcome,
 }
 
 impl LandShark {
@@ -117,24 +126,29 @@ impl LandShark {
     /// platoon scenario starts mid-mission).
     pub fn new(config: LandSharkConfig) -> Self {
         let vehicle = Vehicle::with_speed(config.vehicle, config.target_speed);
-        let pi = PiController::new(
-            3.0,
-            0.8,
-            config.vehicle.max_accel,
-            config.vehicle.max_brake,
-        );
+        let pi = PiController::new(3.0, 0.8, config.vehicle.max_accel, config.vehicle.max_brake);
         let supervisor = Supervisor::new(config.target_speed, config.delta_up, config.delta_down);
-        let historical = config
-            .history
-            .map(|bound| HistoricalFuser::new(config.f, bound, config.dt));
+        let fuser: Box<dyn Fuser<f64>> = match config.history {
+            Some(bound) => Box::new(HistoricalFuser::new(config.f, bound, config.dt)),
+            None => Box::new(MarzulloFuser::new(config.f)),
+        };
+        let mut pipeline = FusionPipeline::builder(arsf_sensor::suite::landshark())
+            .config(PipelineConfig::new(config.f, config.schedule.clone()))
+            .fuser(fuser)
+            .build();
+        if let AttackSelection::Fixed(set) = &config.attack {
+            pipeline.set_attacker(Some((
+                AttackerConfig::new(set.iter().copied(), config.f),
+                Box::new(PhantomOptimal::new()),
+            )));
+        }
         Self {
             config,
-            suite: arsf_sensor::suite::landshark(),
+            pipeline,
             vehicle,
             pi,
             supervisor,
-            historical,
-            round: 0,
+            outcome: RoundOutcome::default(),
         }
     }
 
@@ -160,7 +174,7 @@ impl LandShark {
 
     /// Completed rounds.
     pub fn rounds(&self) -> u64 {
-        self.round
+        self.pipeline.rounds()
     }
 
     /// Runs one control period: sample sensors at the true speed, run the
@@ -171,23 +185,18 @@ impl LandShark {
         let attacked: Option<usize> = match &self.config.attack {
             AttackSelection::None => None,
             AttackSelection::Fixed(set) => set.first().copied(),
-            AttackSelection::RandomEachRound => Some(rng.gen_range(0..self.suite.len())),
-        };
-        let outcome = self.run_fusion_round(truth, attacked, rng);
-
-        // Optional historical refinement: intersect the round's fusion
-        // with the previous round's interval propagated by the dynamics
-        // bound (clips forged extensions).
-        let vetted: Result<Interval<f64>, _> = match (&mut self.historical, &outcome.fusion) {
-            (Some(fuser), Ok(_)) => {
-                let intervals: Vec<Interval<f64>> =
-                    outcome.transmitted.iter().map(|(_, iv)| *iv).collect();
-                fuser.fuse_round(&intervals).map(|out| out.fused)
+            AttackSelection::RandomEachRound => {
+                let sensor = rng.gen_range(0..self.pipeline.suite().len());
+                self.pipeline.set_attacker(Some((
+                    AttackerConfig::new([sensor], self.config.f),
+                    Box::new(PhantomOptimal::new()),
+                )));
+                Some(sensor)
             }
-            _ => outcome.fusion.clone(),
         };
+        self.pipeline.run_round_into(truth, rng, &mut self.outcome);
 
-        let (action, estimate) = match &vetted {
+        let (action, estimate) = match &self.outcome.fusion {
             Ok(fused) => (self.supervisor.check(fused), fused.midpoint()),
             // Fusion failure certifies over-budget faults; treat as a
             // brake-preempt with the last known-good estimate (target).
@@ -209,45 +218,16 @@ impl LandShark {
             SupervisorAction::PreemptAccelerate => self.config.vehicle.max_accel * 0.25,
         };
         self.vehicle.step(accel, self.config.dt, rng);
-        self.round += 1;
 
         StepRecord {
             true_speed: truth,
-            fusion: vetted.ok(),
+            fusion: self.outcome.fusion.ok(),
             action,
-            flagged: outcome.flagged,
+            // Taking the vector is allocation-free on all-clear rounds;
+            // the engine rebuilds it next round.
+            flagged: std::mem::take(&mut self.outcome.flagged),
             attacked,
         }
-    }
-
-    fn run_fusion_round<R: Rng + ?Sized>(
-        &mut self,
-        truth: f64,
-        attacked: Option<usize>,
-        rng: &mut R,
-    ) -> RoundOutcome {
-        // The pipeline is rebuilt per round because the compromised set
-        // may change every round (the case study's threat model); suites
-        // are tiny, so this costs a few allocations.
-        let builder = FusionPipeline::builder(self.suite.clone()).config(
-            PipelineConfig::new(self.config.f, self.config.schedule.clone()),
-        );
-        let mut pipeline = match (&self.config.attack, attacked) {
-            (AttackSelection::None, _) | (_, None) => builder.build(),
-            (AttackSelection::Fixed(set), _) => builder
-                .attacker(
-                    AttackerConfig::new(set.iter().copied(), self.config.f),
-                    Box::new(PhantomOptimal::new()),
-                )
-                .build(),
-            (AttackSelection::RandomEachRound, Some(sensor)) => builder
-                .attacker(
-                    AttackerConfig::new([sensor], self.config.f),
-                    Box::new(PhantomOptimal::new()),
-                )
-                .build(),
-        };
-        pipeline.run_round_at(truth, self.round, rng)
     }
 }
 
@@ -270,7 +250,11 @@ mod tests {
             assert!(rec.flagged.is_empty());
             assert_eq!(rec.attacked, None);
         }
-        assert!((shark.speed() - 10.0).abs() < 0.5, "speed {}", shark.speed());
+        assert!(
+            (shark.speed() - 10.0).abs() < 0.5,
+            "speed {}",
+            shark.speed()
+        );
         assert_eq!(shark.supervisor().upper_violations(), 0);
         assert_eq!(shark.supervisor().lower_violations(), 0);
         assert_eq!(shark.rounds(), 200);
@@ -301,8 +285,7 @@ mod tests {
         for _ in 0..300 {
             shark.step(&mut rng);
         }
-        let total =
-            shark.supervisor().upper_violations() + shark.supervisor().lower_violations();
+        let total = shark.supervisor().upper_violations() + shark.supervisor().lower_violations();
         assert!(
             total > 0,
             "a fully-informed attacker on the precise sensor must cause violations"
@@ -325,7 +308,11 @@ mod tests {
         assert!(preempted > 0);
         // Despite the attack the vehicle remains roughly at speed: the
         // supervisor acts on uncertainty, not on a wrong point estimate.
-        assert!((shark.speed() - 10.0).abs() < 2.0, "speed {}", shark.speed());
+        assert!(
+            (shark.speed() - 10.0).abs() < 2.0,
+            "speed {}",
+            shark.speed()
+        );
     }
 
     #[test]
@@ -385,6 +372,9 @@ mod tests {
                 seen.insert(a);
             }
         }
-        assert!(seen.len() >= 3, "random selection should cover sensors: {seen:?}");
+        assert!(
+            seen.len() >= 3,
+            "random selection should cover sensors: {seen:?}"
+        );
     }
 }

@@ -32,9 +32,7 @@ impl Platoon {
             gap_miles > 0.0 && gap_miles.is_finite(),
             "initial gap must be positive"
         );
-        let sharks = (0..size)
-            .map(|_| LandShark::new(config.clone()))
-            .collect();
+        let sharks = (0..size).map(|_| LandShark::new(config.clone())).collect();
         let start_offsets = (0..size).map(|i| -(i as f64) * gap_miles).collect();
         Self {
             sharks,
@@ -62,8 +60,7 @@ impl Platoon {
     /// Advances every vehicle by one control period and updates the gap
     /// statistics. Returns the per-vehicle step records, leader first.
     pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<StepRecord> {
-        let records: Vec<StepRecord> =
-            self.sharks.iter_mut().map(|s| s.step(rng)).collect();
+        let records: Vec<StepRecord> = self.sharks.iter_mut().map(|s| s.step(rng)).collect();
         for i in 1..self.sharks.len() {
             let ahead = self.sharks[i - 1].position() + self.start_offsets[i - 1];
             let behind = self.sharks[i].position() + self.start_offsets[i];
@@ -132,12 +129,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one vehicle")]
     fn empty_platoon_panics() {
-        let _ = Platoon::new(0, 0.01, LandSharkConfig::new(10.0, SchedulePolicy::Ascending));
+        let _ = Platoon::new(
+            0,
+            0.01,
+            LandSharkConfig::new(10.0, SchedulePolicy::Ascending),
+        );
     }
 
     #[test]
     #[should_panic(expected = "gap must be positive")]
     fn nonpositive_gap_panics() {
-        let _ = Platoon::new(2, 0.0, LandSharkConfig::new(10.0, SchedulePolicy::Ascending));
+        let _ = Platoon::new(
+            2,
+            0.0,
+            LandSharkConfig::new(10.0, SchedulePolicy::Ascending),
+        );
     }
 }

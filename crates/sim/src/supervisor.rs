@@ -164,7 +164,10 @@ mod tests {
     fn each_violation_kind_is_classified() {
         let mut sup = Supervisor::new(10.0, 0.5, 0.5);
         assert_eq!(sup.check(&iv(9.8, 10.6)), SupervisorAction::PreemptBrake);
-        assert_eq!(sup.check(&iv(9.4, 10.2)), SupervisorAction::PreemptAccelerate);
+        assert_eq!(
+            sup.check(&iv(9.4, 10.2)),
+            SupervisorAction::PreemptAccelerate
+        );
         assert_eq!(sup.check(&iv(9.0, 11.0)), SupervisorAction::PreemptBoth);
         assert_eq!(sup.rounds(), 3);
         assert_eq!(sup.upper_violations(), 2);

@@ -104,12 +104,7 @@ impl Table1Row {
 /// discretisation at higher cost; `step = 1.0` matches the integer grid
 /// its interval lengths suggest.
 pub fn evaluate_setup(setup: &Table1Setup, step: f64) -> Table1Row {
-    let honest_scenario = GridScenario::new(
-        setup.widths.clone(),
-        vec![],
-        setup.f(),
-        step,
-    );
+    let honest_scenario = GridScenario::new(setup.widths.clone(), vec![], setup.f(), step);
     let honest = expected_honest_width(&honest_scenario);
 
     let (ascending, ascending_attacked) =
@@ -173,8 +168,8 @@ pub fn evaluate_schedule_styled(
     // Deterministic policies ignore the RNG; seeded for the Random case.
     let mut rng = StdRng::seed_from_u64(0);
     let order = policy.order(&setup.widths, 0, &mut rng);
-    let scenario = GridScenario::new(setup.widths.clone(), attacked.to_vec(), f, step)
-        .with_style(style);
+    let scenario =
+        GridScenario::new(setup.widths.clone(), attacked.to_vec(), f, step).with_style(style);
     let outcome = expected_fusion_width(&scenario, &order);
     debug_assert!(outcome.stealthy, "expectimax attacker must stay stealthy");
     outcome.expected_width
@@ -252,8 +247,7 @@ mod tests {
         let setup = Table1Setup::new([2.0, 4.0, 6.0], 1);
         for policy in [SchedulePolicy::Ascending, SchedulePolicy::Descending] {
             let (best, _) = evaluate_schedule(&setup, &policy, 2.0);
-            let fixed =
-                evaluate_schedule_fixed(&setup, &policy, &most_precise_set(&setup), 2.0);
+            let fixed = evaluate_schedule_fixed(&setup, &policy, &most_precise_set(&setup), 2.0);
             assert!(fixed <= best + 1e-9);
         }
     }

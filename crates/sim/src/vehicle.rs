@@ -54,7 +54,10 @@ impl Vehicle {
 
     /// Creates a vehicle already moving at `speed` mph.
     pub fn with_speed(params: VehicleParams, speed: f64) -> Self {
-        assert!(speed.is_finite() && speed >= 0.0, "speed must be a finite non-negative value");
+        assert!(
+            speed.is_finite() && speed >= 0.0,
+            "speed must be a finite non-negative value"
+        );
         Self {
             params,
             speed,
@@ -117,7 +120,11 @@ mod tests {
         for _ in 0..100 {
             v.step(3.0, 0.1, &mut rng);
         }
-        assert!(v.speed() > 10.0, "speed {} after 10s of full throttle", v.speed());
+        assert!(
+            v.speed() > 10.0,
+            "speed {} after 10s of full throttle",
+            v.speed()
+        );
         assert!(v.position() > 0.0);
     }
 

@@ -19,8 +19,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let widths = vec![0.2, 0.2, 1.0, 2.0];
 
     for (name, order) in [
-        ("ascending", TransmissionOrder::new(vec![0, 1, 2, 3]).unwrap()),
-        ("descending", TransmissionOrder::new(vec![3, 2, 1, 0]).unwrap()),
+        (
+            "ascending",
+            TransmissionOrder::new(vec![0, 1, 2, 3]).unwrap(),
+        ),
+        (
+            "descending",
+            TransmissionOrder::new(vec![3, 2, 1, 0]).unwrap(),
+        ),
     ] {
         println!("=== {name} schedule: order {order} ===");
         let attacker = Some((
@@ -32,10 +38,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             match &frame.payload {
                 Payload::Measurement { sensor, interval } => {
                     let tag = if *sensor == 0 { " <- forged" } else { "" };
-                    println!("  {} {} sensor {} : {}{}", frame.tick, frame.id, sensor, interval, tag);
+                    println!(
+                        "  {} {} sensor {} : {}{}",
+                        frame.tick, frame.id, sensor, interval, tag
+                    );
                 }
                 Payload::Fusion { interval } => {
-                    println!("  {} {} controller fusion: {} (width {:.2})", frame.tick, frame.id, interval, interval.width());
+                    println!(
+                        "  {} {} controller fusion: {} (width {:.2})",
+                        frame.tick,
+                        frame.id,
+                        interval,
+                        interval.width()
+                    );
                 }
                 Payload::Alert { sensor } => {
                     println!("  {} {} ALERT sensor {}", frame.tick, frame.id, sensor);
@@ -43,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 _ => {}
             }
         }
-        let fused = round.fusion.clone()?;
+        let fused = round.fusion?;
         println!(
             "  -> flagged: {:?}; truth 10.0 inside fusion: {}\n",
             round.flagged,

@@ -21,11 +21,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // An attacker who compromised the GPS and saw the other intervals
     // first (shared bus!) forges the widest stealthy reading.
-    let attack = arsf::attack::full_knowledge::optimal_attack(
-        &[encoder, camera],
-        &[gps.width()],
-        1,
-    )?;
+    let attack =
+        arsf::attack::full_knowledge::optimal_attack(&[encoder, camera], &[gps.width()], 1)?;
     let forged = attack.placements[0];
     let attacked = fuse(&[encoder, forged, camera], 1)?;
     println!("forged GPS:    {forged}");

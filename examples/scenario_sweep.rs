@@ -1,0 +1,72 @@
+//! The pluggable engine in one sweep: four fusion algorithms × three
+//! detectors, every combination through the same `ScenarioRunner` entry
+//! point, under a stealthy attacker on the Descending schedule.
+//!
+//! Run with: `cargo run --release --example scenario_sweep`
+
+use arsf::core::scenario::{AttackerSpec, FuserSpec, Scenario, StrategySpec, SuiteSpec};
+use arsf::core::{DetectionMode, ScenarioRunner};
+use arsf::schedule::SchedulePolicy;
+
+fn main() {
+    let fusers = [
+        FuserSpec::Marzullo,
+        FuserSpec::BrooksIyengar,
+        FuserSpec::Historical {
+            max_rate: 3.5,
+            dt: 0.1,
+        },
+        FuserSpec::InverseVariance,
+    ];
+    let detectors = [
+        ("off", DetectionMode::Off),
+        ("immediate", DetectionMode::Immediate),
+        (
+            "windowed 6/20",
+            DetectionMode::Windowed {
+                window: 20,
+                tolerance: 6,
+            },
+        ),
+    ];
+
+    println!("4 fusers x 3 detectors, one engine: LandShark @ 10 mph,");
+    println!("encoder 0 compromised (phantom-optimal), Descending schedule,");
+    println!("2000 rounds each\n");
+    println!(
+        "{:<16} {:<14} {:>11} {:>11} {:>12} {:>12}",
+        "fuser", "detector", "mean width", "truth lost", "flag rounds", "condemned"
+    );
+
+    for fuser in &fusers {
+        for (label, detector) in &detectors {
+            let scenario = Scenario::new(
+                format!("sweep-{}-{label}", fuser.name()),
+                SuiteSpec::Landshark,
+            )
+            .with_schedule(SchedulePolicy::Descending)
+            .with_attacker(AttackerSpec::Fixed {
+                sensors: vec![0],
+                strategy: StrategySpec::PhantomOptimal,
+            })
+            .with_fuser(fuser.clone())
+            .with_detector(*detector)
+            .with_rounds(2000);
+            let summary = ScenarioRunner::new(&scenario).run();
+            println!(
+                "{:<16} {:<14} {:>11.3} {:>11} {:>12} {:>12}",
+                summary.fuser,
+                label,
+                summary.widths.mean(),
+                summary.truth_lost,
+                summary.flagged_rounds,
+                format!("{:?}", summary.condemned),
+            );
+        }
+    }
+
+    println!("\nReading the table: the interval fusers (Marzullo, Brooks-");
+    println!("Iyengar) never lose the truth with fa <= f; history tightens");
+    println!("the attacked fusion; the probabilistic baseline loses the");
+    println!("truth in a large share of rounds - the paper's core contrast.");
+}

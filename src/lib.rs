@@ -4,7 +4,11 @@
 //! Fusion"**, DATE 2014 ([DOI 10.7873/DATE.2014.067][doi]): Marzullo
 //! interval fusion under adversarial sensors, stealthy attack policies,
 //! communication-schedule analysis, and the LandShark autonomous-vehicle
-//! case study.
+//! case study — behind a **pluggable engine**: any
+//! [`Fuser`](fusion::Fuser) and any [`Detector`](detect::Detector) run
+//! through one [`FusionPipeline`](core::FusionPipeline), and whole
+//! experiments are declarative [`Scenario`](core::Scenario) values
+//! executed by a [`ScenarioRunner`](core::ScenarioRunner).
 //!
 //! This facade crate re-exports the whole workspace:
 //!
@@ -12,15 +16,17 @@
 //! |--------|-------|----------|
 //! | [`interval`] | `arsf-interval` | closed intervals, *k*-coverage sweep, ASCII diagrams |
 //! | [`sensor`] | `arsf-sensor` | abstract sensors, bounded noise, faults, LandShark suite |
-//! | [`fusion`] | `arsf-fusion` | Marzullo fusion, Brooks–Iyengar, bounds (Thm 2) |
-//! | [`detect`] | `arsf-detect` | overlap detection, sliding-window fault model |
+//! | [`fusion`] | `arsf-fusion` | the `Fuser` trait; Marzullo, Brooks–Iyengar, historical, weighted fusers, bounds (Thm 2) |
+//! | [`detect`] | `arsf-detect` | the `Detector` trait; off/immediate/windowed detectors |
 //! | [`schedule`] | `arsf-schedule` | Ascending/Descending/Random schedules, exposure analysis |
 //! | [`attack`] | `arsf-attack` | optimal/expectimax/streaming attackers, worst cases (Thms 3–4) |
 //! | [`bus`] | `arsf-bus` | CAN-like broadcast bus substrate |
-//! | [`core`] | `arsf-core` | the fusion pipeline, metrics, bus transport |
+//! | [`core`] | `arsf-core` | the generic fusion engine, scenarios + registry, batch runner, metrics, bus transport |
 //! | [`sim`] | `arsf-sim` | vehicle/platoon simulation, Table I & II engines |
 //!
 //! # Quickstart
+//!
+//! Fuse directly:
 //!
 //! ```
 //! use arsf::prelude::*;
@@ -36,6 +42,25 @@
 //! assert!(fused.contains(10.0));
 //! # Ok(())
 //! # }
+//! ```
+//!
+//! Or describe a whole experiment declaratively and run it in batch:
+//!
+//! ```
+//! use arsf::prelude::*;
+//!
+//! let scenario = Scenario::new("quickstart", SuiteSpec::Landshark)
+//!     .with_schedule(SchedulePolicy::Descending)
+//!     .with_attacker(AttackerSpec::Fixed {
+//!         sensors: vec![0],
+//!         strategy: StrategySpec::PhantomOptimal,
+//!     })
+//!     .with_fuser(FuserSpec::BrooksIyengar)
+//!     .with_rounds(200);
+//! let mut outcomes = Vec::new();
+//! let summary = ScenarioRunner::new(&scenario).run_batch(200, &mut outcomes);
+//! assert_eq!(summary.truth_lost, 0, "fa <= f keeps the truth");
+//! assert!(outcomes.iter().all(|o| o.fusion.is_ok()));
 //! ```
 //!
 //! [doi]: https://doi.org/10.7873/DATE.2014.067
@@ -57,10 +82,20 @@ pub use arsf_sim as sim;
 pub mod prelude {
     pub use arsf_attack::strategies::{GreedyExtreme, PhantomOptimal, Side};
     pub use arsf_attack::{AttackMode, AttackStrategy, AttackerConfig, Truthful};
-    pub use arsf_core::{DetectionMode, FusionPipeline, PipelineConfig, RoundOutcome};
-    pub use arsf_detect::{OverlapDetector, WindowedDetector};
+    pub use arsf_core::scenario::{
+        AttackerSpec, FuserSpec, Scenario, StrategySpec, SuiteSpec, TruthSpec,
+    };
+    pub use arsf_core::{
+        BatchSummary, DetectionMode, FusionPipeline, PipelineConfig, RoundOutcome, ScenarioRunner,
+    };
+    pub use arsf_detect::{
+        Detector, ImmediateDetector, NoDetector, OverlapDetector, RoundAssessment, WindowedDetector,
+    };
     pub use arsf_fusion::marzullo::{fuse, FusionConfig};
-    pub use arsf_fusion::{Fuser, FusionError, MarzulloFuser};
+    pub use arsf_fusion::{
+        BrooksIyengarFuser, Fuser, FusionError, HullFuser, IntersectionFuser, InverseVarianceFuser,
+        MarzulloFuser, MidpointMedianFuser,
+    };
     pub use arsf_interval::{Interval, IntervalError};
     pub use arsf_schedule::{SchedulePolicy, TransmissionOrder};
     pub use arsf_sensor::{Measurement, NoiseModel, Sensor, SensorSpec, SensorSuite};
@@ -88,5 +123,14 @@ mod tests {
         )
         .unwrap();
         assert_eq!(fused, Interval::new(1.0, 2.0).unwrap());
+    }
+
+    #[test]
+    fn prelude_exposes_the_scenario_api() {
+        use crate::prelude::*;
+        let scenario = Scenario::new("facade", SuiteSpec::Landshark).with_rounds(10);
+        let summary = ScenarioRunner::new(&scenario).run();
+        assert_eq!(summary.rounds, 10);
+        assert_eq!(summary.fuser, "marzullo");
     }
 }

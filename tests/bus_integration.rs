@@ -13,7 +13,12 @@ fn iv(lo: f64, hi: f64) -> Interval<f64> {
 
 fn landshark_readings() -> (Vec<Interval<f64>>, Vec<f64>) {
     (
-        vec![iv(9.93, 10.13), iv(9.88, 10.08), iv(9.7, 10.7), iv(9.1, 11.1)],
+        vec![
+            iv(9.93, 10.13),
+            iv(9.88, 10.08),
+            iv(9.7, 10.7),
+            iv(9.1, 11.1),
+        ],
         vec![0.2, 0.2, 1.0, 2.0],
     )
 }
@@ -66,7 +71,7 @@ fn attacker_on_bus_profits_from_later_slots() {
         ));
         let round = run_bus_round(&readings, &widths, &order, 1, attacker);
         assert!(round.flagged.is_empty());
-        widths_by_slot_position.push(round.fusion.clone().unwrap().width());
+        widths_by_slot_position.push(round.fusion.unwrap().width());
     }
     assert!(
         widths_by_slot_position[0] <= widths_by_slot_position[2] + 1e-9,
@@ -96,7 +101,7 @@ fn multi_sensor_attacker_coordinates_across_slots() {
             Box::new(PhantomOptimal::new()) as Box<dyn AttackStrategy>,
         ));
         let round = run_bus_round(&readings, &widths, &order, 2, attacker);
-        let fused = round.fusion.clone().unwrap();
+        let fused = round.fusion.unwrap();
         assert!(fused.contains(10.0), "fa <= f keeps the truth");
         assert!(
             round.flagged.is_empty(),

@@ -3,9 +3,7 @@
 //! keep debug-build times reasonable).
 
 use arsf::schedule::SchedulePolicy;
-use arsf::sim::table1::{
-    evaluate_schedule_fixed, evaluate_setup, most_precise_set, Table1Setup,
-};
+use arsf::sim::table1::{evaluate_schedule_fixed, evaluate_setup, most_precise_set, Table1Setup};
 
 #[test]
 fn descending_dominates_ascending_on_paper_like_setups() {
@@ -62,7 +60,6 @@ fn precise_attacked_set_is_blind_under_ascending() {
         row.honest
     );
     // While Descending hands the same attacker full knowledge.
-    let desc_fixed =
-        evaluate_schedule_fixed(&setup, &SchedulePolicy::Descending, &precise, 1.0);
+    let desc_fixed = evaluate_schedule_fixed(&setup, &SchedulePolicy::Descending, &precise, 1.0);
     assert!(desc_fixed > asc_fixed);
 }

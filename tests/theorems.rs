@@ -2,9 +2,7 @@
 //! public API on top of the full stack.
 
 use arsf::attack::full_knowledge::optimal_attack;
-use arsf::attack::worst_case::{
-    attacked_worst_case, global_worst_case, no_attack_worst_case,
-};
+use arsf::attack::worst_case::{attacked_worst_case, global_worst_case, no_attack_worst_case};
 use arsf::fusion::bounds::{check_bounds, theorem2_bound};
 use arsf::fusion::marzullo::{fuse, is_bounded_assumption, max_bounded_f};
 use arsf::prelude::*;

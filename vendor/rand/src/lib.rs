@@ -1,0 +1,375 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! Provides the pieces this workspace uses — [`Rng`] with `gen_range` /
+//! `gen_bool` / `fill`, [`SeedableRng`], [`rngs::StdRng`] and
+//! [`seq::SliceRandom`] — on top of a xoshiro256++ generator seeded via
+//! SplitMix64. Deterministic for a fixed seed, but the byte streams do
+//! **not** match the real `rand` crate.
+
+#![forbid(unsafe_code)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// The low-level generator interface: a source of uniform random bits.
+pub trait RngCore {
+    /// Returns the next 64 uniformly-random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly-random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A type that can be uniformly sampled from a range.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from the half-open range `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform draw from the closed range `[lo, hi]`.
+    fn sample_closed<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo < hi, "cannot sample from an empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                lo.wrapping_add(uniform_u128(span, rng) as $t)
+            }
+            fn sample_closed<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "cannot sample from an empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                lo.wrapping_add(uniform_u128(span, rng) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform integer in `[0, span)` by rejection sampling (span > 0).
+fn uniform_u128<R: RngCore + ?Sized>(span: u128, rng: &mut R) -> u128 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return u128::from(rng.next_u64()) & (span - 1);
+    }
+    // 64 bits of entropy cover every span the workspace uses; reject the
+    // tail of the 64-bit range that would bias the modulus.
+    let span64 = span as u64;
+    let zone = u64::MAX - (u64::MAX % span64) - 1;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return u128::from(v % span64);
+        }
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        assert!(lo < hi, "cannot sample from an empty range");
+        let u = unit_f64(rng); // [0, 1)
+        let v = lo + (hi - lo) * u;
+        // Floating rounding can land exactly on `hi`; clamp back inside.
+        if v >= hi {
+            lo.max(prev_down(hi))
+        } else {
+            v
+        }
+    }
+    fn sample_closed<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        assert!(lo <= hi, "cannot sample from an empty range");
+        if lo == hi {
+            return lo;
+        }
+        let u = unit_f64_closed(rng); // [0, 1]
+        lo + (hi - lo) * u
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        f64::sample_half_open(f64::from(lo), f64::from(hi), rng) as f32
+    }
+    fn sample_closed<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        f64::sample_closed(f64::from(lo), f64::from(hi), rng) as f32
+    }
+}
+
+/// Uniform in `[0, 1)` with 53 random mantissa bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Uniform in `[0, 1]`.
+fn unit_f64_closed<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64
+}
+
+/// The largest float strictly below `x` (for finite positive spans).
+fn prev_down(x: f64) -> f64 {
+    f64::from_bits(x.to_bits() - 1)
+}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_closed(*self.start(), *self.end(), rng)
+    }
+}
+
+/// User-facing random-value methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open `a..b` or closed `a..=b`).
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        T: SampleUniform,
+        S: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        // Exact at the endpoints so probability-1 faults always fire.
+        if p >= 1.0 {
+            true
+        } else if p <= 0.0 {
+            false
+        } else {
+            unit_f64(self) < p
+        }
+    }
+
+    /// Fills `dest` with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator by expanding a `u64` through SplitMix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = splitmix64(&mut state).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Statistically strong and fast; **not** stream-compatible with the
+    /// real `rand::rngs::StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks(8).enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(chunk);
+                s[i] = u64::from_le_bytes(bytes);
+            }
+            // An all-zero state is a fixed point for xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            Self { s }
+        }
+    }
+}
+
+/// Slice helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Randomised slice operations.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly-random element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[RngCore::next_u64(rng) as usize % self.len()])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_inside_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(-1.5..2.5);
+            assert!((-1.5..2.5).contains(&x));
+            let y: f64 = rng.gen_range(-0.5..=0.5);
+            assert!((-0.5..=0.5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_cover_endpoints() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let v = rng.gen_range(3..=3i64);
+            assert_eq!(v, 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_endpoints_are_exact() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(rng.gen_bool(1.0));
+            assert!(!rng.gen_bool(0.0));
+        }
+    }
+
+    #[test]
+    fn gen_bool_rate_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_varies() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..20 {
+            let mut v: Vec<usize> = (0..6).collect();
+            v.shuffle(&mut rng);
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..6).collect::<Vec<_>>());
+            distinct.insert(v);
+        }
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn takes_generic<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen_range(0.0..1.0)
+        }
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = takes_generic(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+    }
+}
