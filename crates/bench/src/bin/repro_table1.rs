@@ -4,32 +4,84 @@
 //! The expectation is computed exactly by enumerating every grid
 //! placement of every measurement (the paper's own methodology,
 //! footnote 5) with an expectimax attacker who adversarially also picks
-//! *which* sensors to compromise per schedule.
+//! *which* sensors to compromise per schedule. A Monte Carlo
+//! cross-check (`sim asc` / `sim desc`) additionally runs every setup
+//! as a streaming scenario — the paper's eight setups × two schedules
+//! as one 16-cell sweep sharded across worker threads through the
+//! `arsf_core::sweep` grid engine.
 //!
 //! Run with: `cargo run --release -p arsf-bench --bin repro_table1`
 //!
 //! Options: `--step <s>` grid step (default 1.0; the paper's integer
-//! lengths suggest an integer grid), `--quick` (step 2.0, for smoke
-//! runs), `--one-sided` (model the weaker fixed-side attacker whose
-//! magnitudes track the paper's reported values).
+//! lengths suggest an integer grid), `--quick` (step 2.0 and fewer
+//! simulated rounds, for smoke runs), `--one-sided` (model the weaker
+//! fixed-side attacker whose magnitudes track the paper's reported
+//! values), `--mc-rounds <n>` simulated rounds per cell,
+//! `--threads <k>` sweep worker threads.
 
 use arsf_attack::expectimax::AttackerStyle;
 use arsf_bench::{arg_value, has_flag, TextTable};
+use arsf_core::scenario::{AttackerSpec, Scenario, StrategySpec, SuiteSpec, TruthSpec};
+use arsf_core::sweep::ParallelSweeper;
+use arsf_core::DetectionMode;
 use arsf_schedule::SchedulePolicy;
-use arsf_sim::table1::{evaluate_schedule_styled, evaluate_setup, most_precise_set, paper_setups};
+use arsf_sim::table1::{
+    evaluate_schedule_styled, evaluate_setup, most_precise_set, paper_setups, Table1Setup,
+};
+
+/// Builds the Monte Carlo twin of one exact Table I evaluation: the
+/// setup's widths as a uniform suite, the `fa` most precise sensors
+/// compromised running the streaming analogue of the exact attacker
+/// style, no detection, truth pinned at 0.
+fn simulation_scenario(
+    setup: &Table1Setup,
+    schedule: SchedulePolicy,
+    strategy: StrategySpec,
+    rounds: u64,
+) -> Scenario {
+    Scenario::new(
+        format!("table1-sim-{}-{}", setup.label(), schedule.name()),
+        SuiteSpec::Widths(setup.widths.clone()),
+    )
+    .with_f(setup.f())
+    .with_schedule(schedule)
+    .with_attacker(AttackerSpec::Fixed {
+        sensors: most_precise_set(setup),
+        strategy,
+    })
+    .with_detector(DetectionMode::Off)
+    .with_truth(TruthSpec::Constant(0.0))
+    .with_rounds(rounds)
+}
 
 fn main() {
-    let step: f64 = if has_flag("--quick") {
+    let quick = has_flag("--quick");
+    let step: f64 = if quick {
         2.0
     } else {
         arg_value("--step")
             .and_then(|s| s.parse().ok())
             .unwrap_or(1.0)
     };
+    let mc_rounds: u64 = arg_value("--mc-rounds")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if quick { 500 } else { 4000 });
+    let sweeper = match arg_value("--threads").map(|s| s.parse::<usize>()) {
+        None => ParallelSweeper::auto(),
+        Some(Ok(threads)) if threads > 0 => ParallelSweeper::new(threads),
+        Some(_) => {
+            eprintln!("repro_table1: --threads wants a positive integer");
+            std::process::exit(2);
+        }
+    };
 
     println!("Table I: comparison of two sensor communication schedules");
     println!("(E|S_N,f| by exhaustive grid enumeration, step {step}; f = ⌈n/2⌉-1;");
-    println!("the attacker picks her compromised sensors per schedule)\n");
+    println!("the attacker picks her compromised sensors per schedule;");
+    println!(
+        "sim columns: {mc_rounds}-round streaming scenarios, {} sweep thread(s))\n",
+        sweeper.threads()
+    );
 
     // Paper's reported values, for side-by-side comparison.
     let paper = [
@@ -43,6 +95,29 @@ fn main() {
         (6.87, 7.74),
     ];
 
+    let setups = paper_setups();
+
+    // The streaming analogue of the attacker style the exact columns use:
+    // stealthy width-maximiser for Optimal, fixed-high-side greedy for
+    // OneSidedHigh — so the sim columns cross-check the same adversary.
+    let sim_strategy = if has_flag("--one-sided") {
+        StrategySpec::GreedyHigh
+    } else {
+        StrategySpec::PhantomOptimal
+    };
+
+    // The Monte Carlo cross-check first: one flat scenario list (setup ×
+    // schedule, schedule fastest) through the parallel sweep engine.
+    let scenarios: Vec<Scenario> = setups
+        .iter()
+        .flat_map(|setup| {
+            [SchedulePolicy::Ascending, SchedulePolicy::Descending]
+                .into_iter()
+                .map(|schedule| simulation_scenario(setup, schedule, sim_strategy, mc_rounds))
+        })
+        .collect();
+    let simulated = sweeper.run_scenarios(&scenarios);
+
     let mut table = TextTable::new(vec![
         "setup".into(),
         "honest".into(),
@@ -50,6 +125,8 @@ fn main() {
         "desc*".into(),
         "asc (adv)".into(),
         "desc (adv)".into(),
+        "sim asc".into(),
+        "sim desc".into(),
         "paper asc".into(),
         "paper desc".into(),
     ]);
@@ -64,7 +141,7 @@ fn main() {
     }
 
     let mut all_gaps_nonnegative = true;
-    for (setup, (paper_asc, paper_desc)) in paper_setups().iter().zip(paper) {
+    for (i, (setup, (paper_asc, paper_desc))) in setups.iter().zip(paper).enumerate() {
         let row = evaluate_setup(setup, step);
         all_gaps_nonnegative &= row.gap() >= -1e-9;
         // The paper-faithful variant: the fa most precise sensors are the
@@ -75,6 +152,8 @@ fn main() {
         let desc_precise =
             evaluate_schedule_styled(setup, &SchedulePolicy::Descending, &precise, step, style);
         all_gaps_nonnegative &= desc_precise >= asc_precise - 1e-9;
+        let sim_asc = simulated.rows()[2 * i].summary.widths.mean();
+        let sim_desc = simulated.rows()[2 * i + 1].summary.widths.mean();
         table.row(vec![
             setup.label(),
             format!("{:.2}", row.honest),
@@ -82,6 +161,8 @@ fn main() {
             format!("{desc_precise:.2}"),
             format!("{:.2}", row.ascending),
             format!("{:.2}", row.descending),
+            format!("{sim_asc:.2}"),
+            format!("{sim_desc:.2}"),
             format!("{paper_asc:.2}"),
             format!("{paper_desc:.2}"),
         ]);
@@ -91,7 +172,8 @@ fn main() {
     println!("{}", table.render());
     println!("asc*/desc*: the fa most precise sensors are compromised (the");
     println!("paper's implicit choice, cf. Theorem 4); (adv): the attacker also");
-    println!("chooses which sensors to compromise per schedule.\n");
+    println!("chooses which sensors to compromise per schedule; sim: streaming");
+    println!("Monte Carlo of the same setups through the parallel sweep grid.\n");
     assert!(
         all_gaps_nonnegative,
         "the paper's invariant failed: descending must never beat ascending"

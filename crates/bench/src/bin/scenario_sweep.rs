@@ -1,27 +1,132 @@
-//! Sweeps every named scenario preset through the declarative runner and
-//! tabulates the summaries — the one-command overview of how each
-//! fusion-algorithm/detector/schedule combination behaves.
+//! Scenario sweeps through the grid engine: either every named registry
+//! preset, or an ad-hoc cartesian grid described on the command line —
+//! sharded across worker threads either way, with the row order (and the
+//! emitted bytes) identical to a serial run.
 //!
 //! Run with: `cargo run --release -p arsf-bench --bin scenario_sweep`
 //!
-//! Options: `--rounds <n>` (default: each preset's own count).
+//! Preset mode (default): sweeps the whole named-scenario registry.
+//!
+//! Grid mode (enabled by any axis flag): builds a `SweepGrid` around a
+//! LandShark base scenario with a stealthy attacker on sensor 0 and
+//! sweeps the cartesian product of the given axes.
+//!
+//! Options:
+//! * `--fusers a,b,…` — fuser axis (`marzullo`, `brooks-iyengar`,
+//!   `intersection`, `hull`, `inverse-variance`, `midpoint-median`,
+//!   `historical[:max_rate:dt]`)
+//! * `--detectors a,b,…` — detector axis (`off`, `immediate`,
+//!   `windowed:window:tolerance`)
+//! * `--schedules a,b,…` — schedule axis (`ascending`, `descending`,
+//!   `random`)
+//! * `--seeds 1,2,…` — seed axis (replicates; per-cell seeds derived)
+//! * `--suite landshark | widths:5,11,17` — sensor suite (grid mode)
+//! * `--honest` — drop the grid base scenario's attacker (switches to
+//!   grid mode like the axis flags)
+//! * `--rounds n` — rounds per cell (or per preset)
+//! * `--threads k` — worker threads (default: available parallelism)
+//! * `--csv path|-` / `--json path|-` — emit the report (`-` = stdout)
 
-use arsf_bench::{arg_value, TextTable};
-use arsf_core::scenario::registry;
-use arsf_core::ScenarioRunner;
+use std::process::exit;
+
+use arsf_bench::cli::{
+    parse_detectors, parse_fusers, parse_schedules, parse_suite, parse_u64_list,
+};
+use arsf_bench::{arg_value, has_flag, TextTable};
+use arsf_core::scenario::{registry, AttackerSpec, Scenario, StrategySpec, SuiteSpec};
+use arsf_core::sweep::{ParallelSweeper, SweepGrid, SweepReport};
+
+fn fail(message: &str) -> ! {
+    eprintln!("scenario_sweep: {message}");
+    exit(2);
+}
+
+fn parsed<T>(result: Result<T, String>) -> T {
+    result.unwrap_or_else(|e| fail(&e))
+}
 
 fn main() {
     let rounds_override: Option<u64> = arg_value("--rounds").and_then(|s| s.parse().ok());
+    let sweeper = match arg_value("--threads").map(|s| s.parse::<usize>()) {
+        None => ParallelSweeper::auto(),
+        Some(Ok(threads)) if threads > 0 => ParallelSweeper::new(threads),
+        Some(_) => fail("--threads wants a positive integer"),
+    };
 
-    let mut presets = registry();
-    if let Some(rounds) = rounds_override {
-        for preset in &mut presets {
-            preset.rounds = rounds;
+    // Any grid-shaping flag (including --honest, which only makes sense
+    // for the grid's base scenario) switches from preset to grid mode.
+    let grid_mode = [
+        "--fusers",
+        "--detectors",
+        "--schedules",
+        "--seeds",
+        "--suite",
+    ]
+    .iter()
+    .any(|flag| arg_value(flag).is_some())
+        || has_flag("--honest");
+
+    let report = if grid_mode {
+        let suite = arg_value("--suite").map_or(SuiteSpec::Landshark, |s| parsed(parse_suite(&s)));
+        let mut base = Scenario::new("sweep", suite).with_attacker(AttackerSpec::Fixed {
+            sensors: vec![0],
+            strategy: StrategySpec::PhantomOptimal,
+        });
+        if has_flag("--honest") {
+            base = base.with_attacker(AttackerSpec::None);
         }
-    }
+        if let Some(rounds) = rounds_override {
+            base = base.with_rounds(rounds);
+        }
+        let mut grid = SweepGrid::new(base);
+        if let Some(spec) = arg_value("--fusers") {
+            grid = grid.fusers(parsed(parse_fusers(&spec)));
+        }
+        if let Some(spec) = arg_value("--detectors") {
+            grid = grid.detectors(parsed(parse_detectors(&spec)));
+        }
+        if let Some(spec) = arg_value("--schedules") {
+            grid = grid.schedules(parsed(parse_schedules(&spec)));
+        }
+        if let Some(spec) = arg_value("--seeds") {
+            grid = grid.seeds(parsed(parse_u64_list(&spec)));
+        }
+        println!(
+            "Grid sweep: {} cells on {} worker thread(s)\n",
+            grid.len(),
+            sweeper.threads()
+        );
+        sweeper.run(&grid)
+    } else {
+        let mut presets = registry();
+        if let Some(rounds) = rounds_override {
+            for preset in &mut presets {
+                preset.rounds = rounds;
+            }
+        }
+        println!(
+            "Scenario sweep: {} registry presets on {} worker thread(s)\n",
+            presets.len(),
+            sweeper.threads()
+        );
+        sweeper.run_scenarios(&presets)
+    };
 
-    println!("Scenario sweep: every registry preset through one engine\n");
+    print_table(&report);
+    emit(&report, "--csv", SweepReport::to_csv);
+    emit(&report, "--json", SweepReport::to_json);
+
+    if !grid_mode {
+        println!("Marzullo/Brooks–Iyengar keep the truth under attack (fa <= f);");
+        println!("the inverse-variance baseline does not; historical fusion");
+        println!("tightens the descending-schedule attack; the windowed detector");
+        println!("condemns the transiently-faulty GPS without false positives.");
+    }
+}
+
+fn print_table(report: &SweepReport) {
     let mut table = TextTable::new(vec![
+        "cell".into(),
         "scenario".into(),
         "fuser".into(),
         "detector".into(),
@@ -33,24 +138,36 @@ fn main() {
         "flag rounds".into(),
         "condemned".into(),
     ]);
-    for preset in &presets {
-        let summary = ScenarioRunner::new(preset).run();
+    for row in report.rows() {
+        let s = &row.summary;
         table.row(vec![
-            summary.scenario.clone(),
-            summary.fuser.clone(),
-            summary.detector.clone(),
-            preset.schedule.name().into(),
-            format!("{}", summary.rounds),
-            format!("{:.3}", summary.widths.mean()),
-            format!("{}", summary.truth_lost),
-            format!("{}", summary.fusion_failures),
-            format!("{}", summary.flagged_rounds),
-            format!("{:?}", summary.condemned),
+            format!("{}", row.cell),
+            s.scenario.clone(),
+            s.fuser.clone(),
+            s.detector.clone(),
+            row.schedule.clone(),
+            format!("{}", s.rounds),
+            format!("{:.3}", s.widths.mean()),
+            format!("{}", s.truth_lost),
+            format!("{}", s.fusion_failures),
+            format!("{}", s.flagged_rounds),
+            format!("{:?}", s.condemned),
         ]);
     }
     println!("{}", table.render());
-    println!("Marzullo/Brooks–Iyengar keep the truth under attack (fa <= f);");
-    println!("the inverse-variance baseline does not; historical fusion");
-    println!("tightens the descending-schedule attack; the windowed detector");
-    println!("condemns the transiently-faulty GPS without false positives.");
+}
+
+/// Writes a rendering of the report to the path given by `flag` (`-`
+/// streams to stdout).
+fn emit(report: &SweepReport, flag: &str, render: fn(&SweepReport) -> String) {
+    if let Some(target) = arg_value(flag) {
+        let payload = render(report);
+        if target == "-" {
+            print!("{payload}");
+        } else if let Err(err) = std::fs::write(&target, &payload) {
+            fail(&format!("cannot write {target}: {err}"));
+        } else {
+            println!("wrote {target}");
+        }
+    }
 }

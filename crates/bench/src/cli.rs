@@ -1,0 +1,250 @@
+//! Parsers turning `--axis a,b,c` command-line values into sweep axes.
+//!
+//! Shared by the `scenario_sweep` binary (and usable from any harness):
+//! each parser accepts a comma-separated list and returns either the
+//! decoded non-empty axis or a human-readable error naming the
+//! offending token — never `Ok(vec![])`, which would trip the grid's
+//! non-empty-axis assertion downstream.
+
+use arsf_core::scenario::{FuserSpec, SuiteSpec};
+use arsf_core::DetectionMode;
+use arsf_schedule::SchedulePolicy;
+
+fn non_empty<T>(axis: &str, values: Vec<T>) -> Result<Vec<T>, String> {
+    if values.is_empty() {
+        Err(format!("{axis} axis is empty"))
+    } else {
+        Ok(values)
+    }
+}
+
+/// Parses a fuser axis, e.g. `marzullo,hull,historical:3.5:0.1`.
+///
+/// Recognised names: `marzullo`, `brooks-iyengar`, `intersection`,
+/// `hull`, `inverse-variance`, `midpoint-median`, and
+/// `historical[:max_rate:dt]` (default `historical:3.5:0.1`).
+///
+/// # Errors
+///
+/// Returns a message naming the first unrecognised token.
+pub fn parse_fusers(spec: &str) -> Result<Vec<FuserSpec>, String> {
+    spec.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(|token| match token {
+            "marzullo" => Ok(FuserSpec::Marzullo),
+            "brooks-iyengar" => Ok(FuserSpec::BrooksIyengar),
+            "intersection" => Ok(FuserSpec::Intersection),
+            "hull" => Ok(FuserSpec::Hull),
+            "inverse-variance" => Ok(FuserSpec::InverseVariance),
+            "midpoint-median" => Ok(FuserSpec::MidpointMedian),
+            "historical" => Ok(FuserSpec::Historical {
+                max_rate: 3.5,
+                dt: 0.1,
+            }),
+            other => match other.strip_prefix("historical:") {
+                Some(params) => {
+                    let (rate, dt) = params
+                        .split_once(':')
+                        .ok_or_else(|| format!("expected historical:max_rate:dt, got `{other}`"))?;
+                    let max_rate: f64 = rate
+                        .parse()
+                        .map_err(|_| format!("bad max_rate in `{other}`"))?;
+                    let dt: f64 = dt.parse().map_err(|_| format!("bad dt in `{other}`"))?;
+                    Ok(FuserSpec::Historical { max_rate, dt })
+                }
+                None => Err(format!("unknown fuser `{other}`")),
+            },
+        })
+        .collect::<Result<Vec<_>, String>>()
+        .and_then(|v| non_empty("fusers", v))
+}
+
+/// Parses a detector axis, e.g. `off,immediate,windowed:20:6`.
+///
+/// # Errors
+///
+/// Returns a message naming the first unrecognised token.
+pub fn parse_detectors(spec: &str) -> Result<Vec<DetectionMode>, String> {
+    spec.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(|token| match token {
+            "off" => Ok(DetectionMode::Off),
+            "immediate" => Ok(DetectionMode::Immediate),
+            other => match other.strip_prefix("windowed:") {
+                Some(params) => {
+                    let (window, tolerance) = params.split_once(':').ok_or_else(|| {
+                        format!("expected windowed:window:tolerance, got `{other}`")
+                    })?;
+                    let window: usize = window
+                        .parse()
+                        .map_err(|_| format!("bad window in `{other}`"))?;
+                    let tolerance: usize = tolerance
+                        .parse()
+                        .map_err(|_| format!("bad tolerance in `{other}`"))?;
+                    if window == 0 {
+                        return Err(format!("window must be positive in `{other}`"));
+                    }
+                    Ok(DetectionMode::Windowed { window, tolerance })
+                }
+                None => Err(format!("unknown detector `{other}`")),
+            },
+        })
+        .collect::<Result<Vec<_>, String>>()
+        .and_then(|v| non_empty("detectors", v))
+}
+
+/// Parses a schedule axis, e.g. `ascending,descending,random`.
+///
+/// # Errors
+///
+/// Returns a message naming the first unrecognised token.
+pub fn parse_schedules(spec: &str) -> Result<Vec<SchedulePolicy>, String> {
+    spec.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(|token| match token {
+            "ascending" => Ok(SchedulePolicy::Ascending),
+            "descending" => Ok(SchedulePolicy::Descending),
+            "random" => Ok(SchedulePolicy::Random),
+            other => Err(format!("unknown schedule `{other}`")),
+        })
+        .collect::<Result<Vec<_>, String>>()
+        .and_then(|v| non_empty("schedules", v))
+}
+
+/// Parses an integer list, e.g. a seed axis `1,2,3`.
+///
+/// # Errors
+///
+/// Returns a message naming the first non-integer token.
+pub fn parse_u64_list(spec: &str) -> Result<Vec<u64>, String> {
+    spec.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(|token| token.parse().map_err(|_| format!("bad integer `{token}`")))
+        .collect::<Result<Vec<_>, String>>()
+        .and_then(|v| non_empty("integer", v))
+}
+
+/// Parses a suite, either `landshark` or `widths:5,11,17`.
+///
+/// # Errors
+///
+/// Returns a message when the name is unknown or a width is not a
+/// positive number.
+pub fn parse_suite(spec: &str) -> Result<SuiteSpec, String> {
+    match spec.trim() {
+        "landshark" => Ok(SuiteSpec::Landshark),
+        other => match other.strip_prefix("widths:") {
+            Some(list) => {
+                let widths: Vec<f64> = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|t| !t.is_empty())
+                    .map(|t| {
+                        t.parse::<f64>()
+                            .ok()
+                            .filter(|w| w.is_finite() && *w > 0.0)
+                            .ok_or_else(|| format!("bad width `{t}`"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if widths.is_empty() {
+                    return Err("widths suite needs at least one width".to_string());
+                }
+                Ok(SuiteSpec::Widths(widths))
+            }
+            None => Err(format!("unknown suite `{other}` (landshark | widths:…)")),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuser_axis_round_trips_all_names() {
+        let specs = parse_fusers(
+            "marzullo,brooks-iyengar,intersection,hull,inverse-variance,midpoint-median,historical",
+        )
+        .unwrap();
+        assert_eq!(specs.len(), 7);
+        assert_eq!(specs[0], FuserSpec::Marzullo);
+        assert_eq!(
+            specs[6],
+            FuserSpec::Historical {
+                max_rate: 3.5,
+                dt: 0.1
+            }
+        );
+        assert_eq!(
+            parse_fusers("historical:2.5:0.05").unwrap(),
+            vec![FuserSpec::Historical {
+                max_rate: 2.5,
+                dt: 0.05
+            }]
+        );
+        assert!(parse_fusers("kalman").unwrap_err().contains("kalman"));
+        assert!(parse_fusers("historical:x:0.1").is_err());
+    }
+
+    #[test]
+    fn detector_axis_parses_windowed_params() {
+        let specs = parse_detectors("off, immediate, windowed:20:6").unwrap();
+        assert_eq!(
+            specs,
+            vec![
+                DetectionMode::Off,
+                DetectionMode::Immediate,
+                DetectionMode::Windowed {
+                    window: 20,
+                    tolerance: 6
+                }
+            ]
+        );
+        assert!(parse_detectors("windowed:0:1").is_err());
+        assert!(parse_detectors("windowed:9").is_err());
+        assert!(parse_detectors("sliding").is_err());
+    }
+
+    #[test]
+    fn schedule_and_integer_axes_parse() {
+        assert_eq!(
+            parse_schedules("ascending,descending,random").unwrap(),
+            vec![
+                SchedulePolicy::Ascending,
+                SchedulePolicy::Descending,
+                SchedulePolicy::Random
+            ]
+        );
+        assert!(parse_schedules("rotating").is_err());
+        assert_eq!(parse_u64_list("1, 2,3").unwrap(), vec![1, 2, 3]);
+        assert!(parse_u64_list("1,x").is_err());
+    }
+
+    #[test]
+    fn empty_axes_are_errors_not_empty_vectors() {
+        // An all-separator spec must surface as a CLI error, not as
+        // Ok(vec![]) that would panic the grid's non-empty assertion.
+        for spec in ["", ",", " , "] {
+            assert!(parse_fusers(spec).unwrap_err().contains("empty"));
+            assert!(parse_detectors(spec).unwrap_err().contains("empty"));
+            assert!(parse_schedules(spec).unwrap_err().contains("empty"));
+            assert!(parse_u64_list(spec).unwrap_err().contains("empty"));
+        }
+    }
+
+    #[test]
+    fn suite_parses_landshark_and_widths() {
+        assert_eq!(parse_suite("landshark").unwrap(), SuiteSpec::Landshark);
+        assert_eq!(
+            parse_suite("widths:5,11,17").unwrap(),
+            SuiteSpec::Widths(vec![5.0, 11.0, 17.0])
+        );
+        assert!(parse_suite("widths:").is_err());
+        assert!(parse_suite("widths:-1").is_err());
+        assert!(parse_suite("tank").is_err());
+    }
+}

@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+
 /// A minimal fixed-width text table writer for experiment output.
 ///
 /// # Example

@@ -23,6 +23,9 @@
 //!   registry of named presets,
 //! * [`ScenarioRunner`] — batch execution of scenarios into preallocated
 //!   outcome buffers, with [`BatchSummary`] aggregation,
+//! * [`sweep`] — cartesian scenario grids ([`SweepGrid`]) executed
+//!   serially or across scoped worker threads ([`ParallelSweeper`]) into
+//!   deterministic, grid-ordered [`SweepReport`]s with CSV/JSON emission,
 //! * [`metrics`] — violation counters and width statistics used by the
 //!   experiment harnesses,
 //! * [`transport`] — the same round executed over the `arsf-bus`
@@ -76,9 +79,11 @@ pub mod metrics;
 mod pipeline;
 mod runner;
 pub mod scenario;
+pub mod sweep;
 pub mod transport;
 
 pub use config::{DetectionMode, PipelineConfig};
 pub use pipeline::{FusionPipeline, PipelineBuilder, RoundOutcome};
 pub use runner::{run_all, BatchSummary, ScenarioRunner};
 pub use scenario::Scenario;
+pub use sweep::{ParallelSweeper, SweepGrid, SweepReport};

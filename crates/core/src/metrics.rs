@@ -102,12 +102,22 @@ fn rate(hits: u64, total: u64) -> f64 {
 /// assert_eq!(stats.max(), Some(4.0));
 /// assert_eq!(stats.count(), 2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WidthStats {
     count: u64,
     sum: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for WidthStats {
+    /// Identical to [`WidthStats::new`]. A derived `Default` would zero
+    /// the min/max accumulators instead of using the `±INFINITY`
+    /// sentinels, so a default-constructed stats recording only positive
+    /// widths would report `min() == Some(0.0)`.
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl WidthStats {
@@ -210,11 +220,25 @@ mod tests {
 
     #[test]
     fn default_equals_new() {
-        // Default derives zeros; new() uses sentinels — both behave the
-        // same through the public API on empty stats.
         let d = WidthStats::default();
+        assert_eq!(d, WidthStats::new());
         assert_eq!(d.count(), 0);
         assert_eq!(d.min(), None);
         assert_eq!(d.max(), None);
+    }
+
+    #[test]
+    fn default_constructed_stats_track_extrema_like_new() {
+        // Regression: the derived Default zeroed the sentinels, so a
+        // default-constructed stats recording only positive widths
+        // reported min() == Some(0.0) (and negative-width… max 0.0).
+        let mut d = WidthStats::default();
+        d.record(2.0);
+        d.record(4.0);
+        assert_eq!(d.min(), Some(2.0));
+        assert_eq!(d.max(), Some(4.0));
+        let mut neg = WidthStats::default();
+        neg.record(-3.0);
+        assert_eq!(neg.max(), Some(-3.0));
     }
 }

@@ -390,7 +390,10 @@ impl<F: Fuser<f64>> FusionPipeline<F> {
         out.estimate = out.fusion.as_ref().ok().map(|s| s.midpoint());
 
         // Hand the outcome's vectors to the detector as an assessment so
-        // findings land in place without allocating.
+        // findings land in place without allocating. The clear is
+        // unconditional: a reused buffer must not carry a previous round's
+        // flags/condemnations through a round whose fusion failed (the
+        // detector only runs on fused rounds).
         let mut assessment = RoundAssessment {
             flagged: core::mem::take(&mut out.flagged),
             condemned: core::mem::take(&mut out.condemned),

@@ -68,11 +68,11 @@ impl BatchSummary {
                 // erase standing condemnations held by the detector.
                 self.condemned.clear();
                 self.condemned.extend_from_slice(&out.condemned);
+                if !out.flagged.is_empty() {
+                    self.flagged_rounds += 1;
+                }
             }
             Err(_) => self.fusion_failures += 1,
-        }
-        if !out.flagged.is_empty() {
-            self.flagged_rounds += 1;
         }
     }
 
@@ -169,11 +169,17 @@ impl ScenarioRunner {
     /// Runs the scenario's configured round count, aggregating without
     /// retaining per-round outcomes (one reused buffer).
     pub fn run(&mut self) -> BatchSummary {
-        let mut out = RoundOutcome::default();
+        self.run_into(&mut RoundOutcome::default())
+    }
+
+    /// [`ScenarioRunner::run`] stepping through a caller-owned reusable
+    /// outcome buffer — the allocation-free shape sweep workers use when
+    /// executing many scenarios back to back.
+    pub fn run_into(&mut self, out: &mut RoundOutcome) -> BatchSummary {
         let mut summary = self.summary_shell();
         for _ in 0..self.scenario.rounds {
-            self.step_into(&mut out);
-            summary.record(&out);
+            self.step_into(out);
+            summary.record(out);
         }
         summary
     }
@@ -379,6 +385,72 @@ mod tests {
         summary.record(&RoundOutcome::default());
         assert_eq!(summary.condemned, vec![2]);
         assert_eq!(summary.fusion_failures, 1);
+    }
+
+    #[test]
+    fn failed_round_does_not_count_stale_flags() {
+        // Regression: record() used to bump flagged_rounds whenever the
+        // outcome's flagged vec was non-empty, even on failed-fusion
+        // rounds — but detection only runs on fused rounds, so a stale
+        // flagged vec in a reused buffer inflated the count.
+        use arsf_interval::Interval;
+        let scenario = quick("stale-flags");
+        let mut summary = BatchSummary::new(&scenario, "marzullo", "immediate");
+        let mut buffer = RoundOutcome {
+            truth: 10.0,
+            fusion: Ok(Interval::new(9.0, 11.0).unwrap()),
+            ..RoundOutcome::default()
+        };
+        buffer.flagged.push(3);
+        summary.record(&buffer);
+        assert_eq!(summary.flagged_rounds, 1);
+        // The buffer is reused for a failing round whose flagged vec was
+        // not cleared by the caller: the stale flag must not count.
+        buffer.fusion = Err(arsf_fusion::FusionError::EmptyInput);
+        summary.record(&buffer);
+        assert_eq!(summary.flagged_rounds, 1, "failed round counted a flag");
+        assert_eq!(summary.fusion_failures, 1);
+    }
+
+    #[test]
+    fn reused_buffers_across_failing_rounds_keep_flag_counts_exact() {
+        // End-to-end shape of the same regression: two intermittently
+        // biased sensors pulling in opposite directions under Marzullo
+        // f = 1 yield a genuine mix of fused, flagged and failed rounds,
+        // all driven through one reused buffer.
+        use arsf_sensor::{FaultKind, FaultModel};
+        let scenario = Scenario::new("flaky", SuiteSpec::Widths(vec![0.5, 0.5, 0.5]))
+            .with_fault(0, FaultModel::new(FaultKind::Bias { offset: 40.0 }, 0.5))
+            .with_fault(1, FaultModel::new(FaultKind::Bias { offset: -40.0 }, 0.5))
+            .with_rounds(200);
+        let mut runner = ScenarioRunner::new(&scenario);
+        let mut out = RoundOutcome::default();
+        let mut summary = BatchSummary::new(&scenario, "marzullo", "immediate");
+        let mut fused_flagged = 0;
+        for _ in 0..scenario.rounds {
+            runner.step_into(&mut out);
+            if out.fusion.is_ok() && !out.flagged.is_empty() {
+                fused_flagged += 1;
+            }
+            summary.record(&out);
+        }
+        assert!(summary.fusion_failures > 0, "opposed biases must collide");
+        assert!(fused_flagged > 0, "lone biased rounds must flag");
+        assert_eq!(summary.flagged_rounds, fused_flagged);
+    }
+
+    #[test]
+    fn run_into_matches_run() {
+        let scenario = quick("run-into").with_attacker(AttackerSpec::Fixed {
+            sensors: vec![0],
+            strategy: StrategySpec::PhantomOptimal,
+        });
+        let fresh = ScenarioRunner::new(&scenario).run();
+        let mut reused = RoundOutcome::default();
+        // Pre-soil the buffer: run_into must not be confused by it.
+        reused.flagged.extend([0, 1, 2]);
+        let again = ScenarioRunner::new(&scenario).run_into(&mut reused);
+        assert_eq!(fresh, again);
     }
 
     #[test]

@@ -58,6 +58,17 @@ impl SuiteSpec {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// A compact report label, e.g. `landshark` or `widths[5|11|17]`.
+    pub fn label(&self) -> String {
+        match self {
+            SuiteSpec::Landshark => "landshark".to_string(),
+            SuiteSpec::Widths(widths) => {
+                let ws: Vec<String> = widths.iter().map(|w| format!("{w}")).collect();
+                format!("widths[{}]", ws.join("|"))
+            }
+        }
+    }
 }
 
 /// Which streaming attack strategy a scenario's attacker runs.
@@ -84,6 +95,16 @@ impl StrategySpec {
             StrategySpec::Truthful => Box::new(Truthful),
         }
     }
+
+    /// The built strategy's report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategySpec::PhantomOptimal => "phantom-optimal",
+            StrategySpec::GreedyHigh => "greedy-high",
+            StrategySpec::GreedyLow => "greedy-low",
+            StrategySpec::Truthful => "truthful",
+        }
+    }
 }
 
 /// The scenario's attacker model.
@@ -99,6 +120,19 @@ pub enum AttackerSpec {
         /// The streaming strategy they execute.
         strategy: StrategySpec,
     },
+}
+
+impl AttackerSpec {
+    /// A compact report label, e.g. `honest` or `phantom-optimal@0|2`.
+    pub fn label(&self) -> String {
+        match self {
+            AttackerSpec::None => "honest".to_string(),
+            AttackerSpec::Fixed { sensors, strategy } => {
+                let ids: Vec<String> = sensors.iter().map(|s| format!("{s}")).collect();
+                format!("{}@{}", strategy.name(), ids.join("|"))
+            }
+        }
+    }
 }
 
 /// Which fusion algorithm the scenario's engine runs.
@@ -405,6 +439,89 @@ pub fn registry() -> Vec<Scenario> {
                 sensors: vec![0],
                 strategy: StrategySpec::GreedyHigh,
             }),
+        // Sweep-era presets: the platoon family and the stealthy-attacker
+        // × windowed-detector design space the grid sweeps explore.
+        Scenario::new("platoon-stealthy-windowed", SuiteSpec::Landshark)
+            .with_truth(TruthSpec::Ramp {
+                start: 10.0,
+                rate_per_round: 0.002,
+            })
+            .with_schedule(SchedulePolicy::Descending)
+            .with_attacker(AttackerSpec::Fixed {
+                sensors: vec![0],
+                strategy: StrategySpec::PhantomOptimal,
+            })
+            .with_detector(DetectionMode::Windowed {
+                window: 20,
+                tolerance: 6,
+            }),
+        Scenario::new("platoon-greedy-low", SuiteSpec::Landshark)
+            .with_truth(TruthSpec::Ramp {
+                start: 10.0,
+                rate_per_round: -0.002,
+            })
+            .with_attacker(AttackerSpec::Fixed {
+                sensors: vec![0],
+                strategy: StrategySpec::GreedyLow,
+            }),
+        Scenario::new("platoon-historical-windowed", SuiteSpec::Landshark)
+            .with_truth(TruthSpec::Ramp {
+                start: 10.0,
+                rate_per_round: 0.002,
+            })
+            .with_schedule(SchedulePolicy::Descending)
+            .with_attacker(AttackerSpec::Fixed {
+                sensors: vec![0],
+                strategy: StrategySpec::PhantomOptimal,
+            })
+            .with_fuser(FuserSpec::Historical {
+                max_rate: 3.5,
+                dt: 0.1,
+            })
+            .with_detector(DetectionMode::Windowed {
+                window: 20,
+                tolerance: 6,
+            }),
+        Scenario::new("stealthy-windowed-strict", SuiteSpec::Landshark)
+            .with_schedule(SchedulePolicy::Descending)
+            .with_attacker(AttackerSpec::Fixed {
+                sensors: vec![0],
+                strategy: StrategySpec::PhantomOptimal,
+            })
+            .with_detector(DetectionMode::Windowed {
+                window: 10,
+                tolerance: 2,
+            }),
+        Scenario::new("stealthy-windowed-lenient", SuiteSpec::Landshark)
+            .with_schedule(SchedulePolicy::Descending)
+            .with_attacker(AttackerSpec::Fixed {
+                sensors: vec![0],
+                strategy: StrategySpec::PhantomOptimal,
+            })
+            .with_detector(DetectionMode::Windowed {
+                window: 30,
+                tolerance: 10,
+            }),
+        Scenario::new("greedy-high-windowed", SuiteSpec::Landshark)
+            .with_schedule(SchedulePolicy::Descending)
+            .with_attacker(AttackerSpec::Fixed {
+                sensors: vec![0],
+                strategy: StrategySpec::GreedyHigh,
+            })
+            .with_detector(DetectionMode::Windowed {
+                window: 10,
+                tolerance: 3,
+            }),
+        Scenario::new(
+            "table1-n5-stealthy",
+            SuiteSpec::Widths(vec![5.0, 5.0, 5.0, 5.0, 20.0]),
+        )
+        .with_f(2)
+        .with_attacker(AttackerSpec::Fixed {
+            sensors: vec![0],
+            strategy: StrategySpec::PhantomOptimal,
+        })
+        .with_truth(TruthSpec::Constant(0.0)),
     ]
 }
 
@@ -495,5 +612,32 @@ mod tests {
         let _ = Scenario::new("t", SuiteSpec::Widths(vec![1.0]))
             .with_fault(5, FaultModel::new(arsf_sensor::FaultKind::Silent, 1.0))
             .build_pipeline();
+    }
+
+    #[test]
+    fn report_labels_are_compact_and_csv_safe() {
+        assert_eq!(SuiteSpec::Landshark.label(), "landshark");
+        assert_eq!(
+            SuiteSpec::Widths(vec![5.0, 11.0, 17.0]).label(),
+            "widths[5|11|17]"
+        );
+        assert_eq!(AttackerSpec::None.label(), "honest");
+        assert_eq!(
+            AttackerSpec::Fixed {
+                sensors: vec![0, 2],
+                strategy: StrategySpec::GreedyLow,
+            }
+            .label(),
+            "greedy-low@0|2"
+        );
+        // Strategy spec names mirror the built strategies' report names.
+        for spec in [
+            StrategySpec::PhantomOptimal,
+            StrategySpec::GreedyHigh,
+            StrategySpec::GreedyLow,
+            StrategySpec::Truthful,
+        ] {
+            assert_eq!(spec.build().name(), spec.name());
+        }
     }
 }

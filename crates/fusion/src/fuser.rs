@@ -78,6 +78,14 @@ impl<T: Scalar, F: Fuser<T> + ?Sized> Fuser<T> for Box<F> {
 /// that sensors silenced by faults do not turn fusion into a
 /// [`FusionError::FaultCountTooLarge`] error (the engine's contract: the
 /// fault budget never exceeds `n − 1`).
+///
+/// The all-sensors-silenced round (`n = 0`) clamps to `f = 0` and
+/// forwards the empty slice; every algorithm behind the [`Fuser`]
+/// interface checks for empty input *before* its fault-budget check, so
+/// such a round surfaces as [`FusionError::EmptyInput`] — never a panic
+/// or a garbage interval. `empty_input_errors_everywhere` and the
+/// `engine_facing_fusers_*` property tests pin this contract for every
+/// stock fuser.
 pub(crate) fn clamp_f(f: usize, n: usize) -> usize {
     f.min(n.saturating_sub(1))
 }
@@ -287,13 +295,45 @@ mod tests {
 
     #[test]
     fn empty_input_errors_everywhere() {
+        // The all-sensors-silenced round: clamp_f(f, 0) forwards an empty
+        // slice, and every engine-facing fuser must answer with
+        // EmptyInput — whatever f it was configured with.
         let empty: [Interval<f64>; 0] = [];
-        assert!(Fuser::<f64>::fuse(&mut MarzulloFuser::new(0), &empty).is_err());
-        assert!(Fuser::<f64>::fuse(&mut BrooksIyengarFuser::new(0), &empty).is_err());
-        assert!(Fuser::<f64>::fuse(&mut IntersectionFuser, &empty).is_err());
-        assert!(Fuser::<f64>::fuse(&mut HullFuser, &empty).is_err());
-        assert!(Fuser::<f64>::fuse(&mut InverseVarianceFuser, &empty).is_err());
-        assert!(Fuser::<f64>::fuse(&mut MidpointMedianFuser, &empty).is_err());
+        for f in [0, 1, 5] {
+            let mut fusers: Vec<Box<dyn Fuser<f64>>> = vec![
+                Box::new(MarzulloFuser::new(f)),
+                Box::new(BrooksIyengarFuser::new(f)),
+                Box::new(IntersectionFuser),
+                Box::new(HullFuser),
+                Box::new(InverseVarianceFuser),
+                Box::new(MidpointMedianFuser),
+                Box::new(HistoricalFuser::new(f, DynamicsBound::new(1.0), 0.1)),
+            ];
+            for fuser in &mut fusers {
+                assert_eq!(
+                    fuser.fuse(&empty),
+                    Err(FusionError::EmptyInput),
+                    "{} (f = {f}) must report the silenced round",
+                    fuser.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn historical_fuser_survives_an_empty_round_and_keeps_history() {
+        // A stateful fuser must treat the silenced round as transient:
+        // error out, keep the accumulated history intact, and refine the
+        // next populated round with it.
+        let mut fuser = HistoricalFuser::new(1, DynamicsBound::new(1.0), 0.1);
+        let first = Fuser::fuse(&mut fuser, &sample()).unwrap();
+        assert_eq!(
+            Fuser::fuse(&mut fuser, &[]),
+            Err(FusionError::EmptyInput),
+            "silenced round errors instead of panicking"
+        );
+        assert_eq!(fuser.history(), Some(first), "history survives the gap");
+        assert!(Fuser::fuse(&mut fuser, &sample()).is_ok());
     }
 
     #[test]

@@ -166,6 +166,51 @@ proptest! {
     }
 
     #[test]
+    fn engine_facing_fusers_error_cleanly_never_panic(
+        xs in prop::collection::vec(grid_interval(), 0..=8),
+        f in 0_usize..10,
+    ) {
+        // The clamp_f audit as a property: every stock fuser behind the
+        // engine-facing trait, fed any round — including the
+        // all-sensors-silenced empty one — either fuses or returns a
+        // FusionError. Empty input is always EmptyInput; the clamp makes
+        // FaultCountTooLarge unreachable.
+        use arsf_fusion::historical::{DynamicsBound, HistoricalFuser};
+        use arsf_fusion::{
+            BrooksIyengarFuser, Fuser, FusionError, HullFuser, IntersectionFuser,
+            InverseVarianceFuser, MarzulloFuser, MidpointMedianFuser,
+        };
+        let round: Vec<Interval<f64>> = xs.iter().map(|s| s.to_f64_interval()).collect();
+        let mut fusers: Vec<Box<dyn Fuser<f64>>> = vec![
+            Box::new(MarzulloFuser::new(f)),
+            Box::new(BrooksIyengarFuser::new(f)),
+            Box::new(IntersectionFuser),
+            Box::new(HullFuser),
+            Box::new(InverseVarianceFuser),
+            Box::new(MidpointMedianFuser),
+            Box::new(HistoricalFuser::new(f, DynamicsBound::new(1.0), 0.1)),
+        ];
+        for fuser in &mut fusers {
+            let name = fuser.name().to_string();
+            match fuser.fuse(&round) {
+                Ok(fused) => {
+                    prop_assert!(!round.is_empty(), "{} fused an empty round", name);
+                    prop_assert!(fused.width() >= 0.0);
+                }
+                Err(FusionError::EmptyInput) => {
+                    prop_assert!(round.is_empty(), "{} spurious EmptyInput", name);
+                }
+                Err(FusionError::NoAgreement { .. }) => {
+                    prop_assert!(!round.is_empty(), "{} NoAgreement on empty", name);
+                }
+                Err(err) => {
+                    prop_assert!(false, "{} leaked {:?} through the clamp", name, err);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn fusion_is_permutation_invariant((xs, f) in configs()) {
         let mut reversed = xs.clone();
         reversed.reverse();
