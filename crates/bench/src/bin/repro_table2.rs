@@ -4,20 +4,36 @@
 //! 9.5 mph, for a LandShark holding 10 mph with one uniformly-random
 //! sensor compromised per round.
 //!
+//! Since the closed-loop sweep redesign the run goes through the
+//! deterministic scenario grid (3 schedules × `--replicates` Monte Carlo
+//! seeds), sharded across `--threads` workers with the report
+//! byte-identical to a serial run.
+//!
 //! Run with: `cargo run --release -p arsf-bench --bin repro_table2`
 //!
-//! Options: `--rounds <n>` (default 20000), `--seed <s>`.
+//! Options: `--rounds <n>` (default 20000), `--seed <s>`,
+//! `--replicates <k>` (default 1), `--threads <t>` (default: available
+//! parallelism).
 
 use arsf_bench::{arg_value, TextTable};
 use arsf_sim::table2::{run_all, Table2Config};
 
 fn main() {
-    let mut config = Table2Config::default();
+    let mut config = Table2Config {
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        ..Table2Config::default()
+    };
     if let Some(rounds) = arg_value("--rounds").and_then(|s| s.parse().ok()) {
         config.rounds = rounds;
     }
     if let Some(seed) = arg_value("--seed").and_then(|s| s.parse().ok()) {
         config.seed = seed;
+    }
+    if let Some(replicates) = arg_value("--replicates").and_then(|s| s.parse().ok()) {
+        config.replicates = replicates;
+    }
+    if let Some(threads) = arg_value("--threads").and_then(|s| s.parse().ok()) {
+        config.threads = threads;
     }
 
     println!("Table II: case study results for each of the three schedules");
@@ -28,7 +44,14 @@ fn main() {
         config.target + config.delta_up,
         config.rounds
     );
-    println!("one uniformly-random compromised sensor per round)\n");
+    println!(
+        "one uniformly-random compromised sensor per round; {} replicate(s)",
+        config.replicates.max(1)
+    );
+    println!(
+        "swept through the scenario grid on {} worker thread(s))\n",
+        config.threads.max(1)
+    );
 
     let rows = run_all(&config);
 

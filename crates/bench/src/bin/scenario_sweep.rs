@@ -23,6 +23,16 @@
 //! * `--suite landshark | widths:5,11,17` — sensor suite (grid mode)
 //! * `--honest` — drop the grid base scenario's attacker (switches to
 //!   grid mode like the axis flags)
+//! * `--closed-loop` — drive each cell through the LandShark vehicle
+//!   control loop (Table II style: one uniformly-random compromised
+//!   sensor per round unless `--honest`); adds the supervisor columns
+//!   (`above_rate`, `below_rate`, `preemptions`, `min_gap`)
+//! * `--target v` — closed-loop target speed in mph (default 10;
+//!   implies `--closed-loop`)
+//! * `--deltas d | up:down` — closed-loop envelope half-widths
+//!   (default 0.5:0.5; implies `--closed-loop`)
+//! * `--platoon size[:gap]` — closed-loop platoon instead of a single
+//!   vehicle (gap in miles, default 0.01; implies `--closed-loop`)
 //! * `--rounds n` — rounds per cell (or per preset)
 //! * `--threads k` — worker threads (default: available parallelism)
 //! * `--csv path|-` / `--json path|-` — emit the report (`-` = stdout)
@@ -30,10 +40,13 @@
 use std::process::exit;
 
 use arsf_bench::cli::{
-    parse_detectors, parse_fusers, parse_schedules, parse_suite, parse_u64_list,
+    parse_deltas, parse_detectors, parse_fusers, parse_platoon, parse_schedules, parse_suite,
+    parse_u64_list,
 };
 use arsf_bench::{arg_value, has_flag, TextTable};
-use arsf_core::scenario::{registry, AttackerSpec, Scenario, StrategySpec, SuiteSpec};
+use arsf_core::scenario::{
+    registry, AttackerSpec, ClosedLoopSpec, Scenario, StrategySpec, SuiteSpec,
+};
 use arsf_core::sweep::{ParallelSweeper, SweepGrid, SweepReport};
 
 fn fail(message: &str) -> ! {
@@ -53,8 +66,14 @@ fn main() {
         Some(_) => fail("--threads wants a positive integer"),
     };
 
-    // Any grid-shaping flag (including --honest, which only makes sense
-    // for the grid's base scenario) switches from preset to grid mode.
+    // Any grid-shaping flag (including --honest and the closed-loop
+    // family, which only make sense for the grid's base scenario)
+    // switches from preset to grid mode; the closed-loop parameter flags
+    // imply --closed-loop so they are never silently ignored.
+    let closed_loop = has_flag("--closed-loop")
+        || ["--target", "--deltas", "--platoon"]
+            .iter()
+            .any(|flag| arg_value(flag).is_some());
     let grid_mode = [
         "--fusers",
         "--detectors",
@@ -64,16 +83,42 @@ fn main() {
     ]
     .iter()
     .any(|flag| arg_value(flag).is_some())
-        || has_flag("--honest");
+        || has_flag("--honest")
+        || closed_loop;
 
     let report = if grid_mode {
         let suite = arg_value("--suite").map_or(SuiteSpec::Landshark, |s| parsed(parse_suite(&s)));
-        let mut base = Scenario::new("sweep", suite).with_attacker(AttackerSpec::Fixed {
-            sensors: vec![0],
-            strategy: StrategySpec::PhantomOptimal,
-        });
+        // Open-loop grids default to the stealthy fixed attacker on the
+        // most precise sensor; closed-loop grids default to Table II's
+        // "any sensor can be attacked" model.
+        let mut base = if closed_loop {
+            Scenario::new("sweep", suite).with_attacker(AttackerSpec::RandomEachRound)
+        } else {
+            Scenario::new("sweep", suite).with_attacker(AttackerSpec::Fixed {
+                sensors: vec![0],
+                strategy: StrategySpec::PhantomOptimal,
+            })
+        };
         if has_flag("--honest") {
             base = base.with_attacker(AttackerSpec::None);
+        }
+        if closed_loop {
+            let target = arg_value("--target").map_or(10.0, |s| {
+                s.parse()
+                    .ok()
+                    .filter(|t: &f64| t.is_finite() && *t > 0.0)
+                    .unwrap_or_else(|| fail("--target wants a positive speed in mph"))
+            });
+            let mut spec = ClosedLoopSpec::new(target);
+            if let Some(deltas) = arg_value("--deltas") {
+                let (up, down) = parsed(parse_deltas(&deltas));
+                spec = spec.with_deltas(up, down);
+            }
+            if let Some(platoon) = arg_value("--platoon") {
+                let (size, gap) = parsed(parse_platoon(&platoon));
+                spec = spec.with_platoon(size, gap);
+            }
+            base = base.with_closed_loop(spec);
         }
         if let Some(rounds) = rounds_override {
             base = base.with_rounds(rounds);
@@ -125,7 +170,8 @@ fn main() {
 }
 
 fn print_table(report: &SweepReport) {
-    let mut table = TextTable::new(vec![
+    let closed_loop = report.rows().iter().any(|r| r.summary.supervisor.is_some());
+    let mut header = vec![
         "cell".into(),
         "scenario".into(),
         "fuser".into(),
@@ -137,10 +183,19 @@ fn print_table(report: &SweepReport) {
         "fusion fail".into(),
         "flag rounds".into(),
         "condemned".into(),
-    ]);
+    ];
+    if closed_loop {
+        header.extend([
+            "above".into(),
+            "below".into(),
+            "preempts".into(),
+            "min gap".into(),
+        ]);
+    }
+    let mut table = TextTable::new(header);
     for row in report.rows() {
         let s = &row.summary;
-        table.row(vec![
+        let mut cells = vec![
             format!("{}", row.cell),
             s.scenario.clone(),
             s.fuser.clone(),
@@ -152,7 +207,19 @@ fn print_table(report: &SweepReport) {
             format!("{}", s.fusion_failures),
             format!("{}", s.flagged_rounds),
             format!("{:?}", s.condemned),
-        ]);
+        ];
+        if closed_loop {
+            match &s.supervisor {
+                Some(sup) => cells.extend([
+                    format!("{:.2}%", sup.above_rate * 100.0),
+                    format!("{:.2}%", sup.below_rate * 100.0),
+                    format!("{}", sup.preemptions),
+                    sup.min_gap.map_or(String::new(), |g| format!("{g:.4}")),
+                ]),
+                None => cells.extend([String::new(), String::new(), String::new(), String::new()]),
+            }
+        }
+        table.row(cells);
     }
     println!("{}", table.render());
 }

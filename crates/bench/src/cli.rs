@@ -160,6 +160,61 @@ pub fn parse_suite(spec: &str) -> Result<SuiteSpec, String> {
     }
 }
 
+/// Parses a closed-loop envelope, either one half-width applied to both
+/// sides (`0.5`) or `up:down` (`0.5:0.25`).
+///
+/// # Errors
+///
+/// Returns a message when a half-width is not a finite non-negative
+/// number.
+pub fn parse_deltas(spec: &str) -> Result<(f64, f64), String> {
+    let parse_one = |token: &str| {
+        token
+            .trim()
+            .parse::<f64>()
+            .ok()
+            .filter(|d| d.is_finite() && *d >= 0.0)
+            .ok_or_else(|| format!("bad envelope half-width `{token}`"))
+    };
+    match spec.split_once(':') {
+        Some((up, down)) => Ok((parse_one(up)?, parse_one(down)?)),
+        None => {
+            let both = parse_one(spec)?;
+            Ok((both, both))
+        }
+    }
+}
+
+/// Parses a platoon spec `size[:gap_miles]` (default gap 0.01 miles),
+/// e.g. `3` or `3:0.005`.
+///
+/// # Errors
+///
+/// Returns a message when the size is zero or the gap is not a positive
+/// number.
+pub fn parse_platoon(spec: &str) -> Result<(usize, f64), String> {
+    let (size, gap) = match spec.split_once(':') {
+        Some((size, gap)) => (size, Some(gap)),
+        None => (spec, None),
+    };
+    let size: usize = size
+        .trim()
+        .parse()
+        .ok()
+        .filter(|s| *s > 0)
+        .ok_or_else(|| format!("bad platoon size `{}`", size.trim()))?;
+    let gap = match gap {
+        None => 0.01,
+        Some(token) => token
+            .trim()
+            .parse::<f64>()
+            .ok()
+            .filter(|g| g.is_finite() && *g > 0.0)
+            .ok_or_else(|| format!("bad platoon gap `{}`", token.trim()))?,
+    };
+    Ok((size, gap))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +289,24 @@ mod tests {
             assert!(parse_schedules(spec).unwrap_err().contains("empty"));
             assert!(parse_u64_list(spec).unwrap_err().contains("empty"));
         }
+    }
+
+    #[test]
+    fn deltas_parse_single_and_paired_forms() {
+        assert_eq!(parse_deltas("0.5").unwrap(), (0.5, 0.5));
+        assert_eq!(parse_deltas("1.0:0.25").unwrap(), (1.0, 0.25));
+        assert!(parse_deltas("-0.5").is_err());
+        assert!(parse_deltas("0.5:x").is_err());
+        assert!(parse_deltas("inf").is_err());
+    }
+
+    #[test]
+    fn platoon_parses_size_and_optional_gap() {
+        assert_eq!(parse_platoon("3").unwrap(), (3, 0.01));
+        assert_eq!(parse_platoon("5:0.005").unwrap(), (5, 0.005));
+        assert!(parse_platoon("0").is_err());
+        assert!(parse_platoon("3:0").is_err());
+        assert!(parse_platoon("x").is_err());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 /// # Example
 ///
 /// ```
-/// use arsf_sim::controller::PiController;
+/// use arsf_core::closed_loop::controller::PiController;
 ///
 /// let mut pi = PiController::new(1.2, 0.2, 3.0, 6.0);
 /// // Below target: accelerate.

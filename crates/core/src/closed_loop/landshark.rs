@@ -10,18 +10,18 @@
 //! through [`FusionPipeline::set_attacker`] instead of rebuilding the
 //! engine.
 
+use crate::{DetectionMode, FusionPipeline, PipelineConfig, RoundOutcome};
 use arsf_attack::strategies::PhantomOptimal;
 use arsf_attack::AttackerConfig;
-use arsf_core::{FusionPipeline, PipelineConfig, RoundOutcome};
 use arsf_fusion::historical::{DynamicsBound, HistoricalFuser};
 use arsf_fusion::{Fuser, MarzulloFuser};
 use arsf_interval::Interval;
 use arsf_schedule::SchedulePolicy;
 use rand::Rng;
 
-use crate::controller::PiController;
-use crate::supervisor::{Supervisor, SupervisorAction};
-use crate::vehicle::{Vehicle, VehicleParams};
+use crate::closed_loop::controller::PiController;
+use crate::closed_loop::supervisor::{Supervisor, SupervisorAction};
+use crate::closed_loop::vehicle::{Vehicle, VehicleParams};
 
 /// Which sensors the attacker controls during a simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +53,8 @@ pub struct LandSharkConfig {
     pub dt: f64,
     /// Attacker model.
     pub attack: AttackSelection,
+    /// The detector the fusion engine runs on fused rounds.
+    pub detection: DetectionMode,
     /// Vehicle parameters.
     pub vehicle: VehicleParams,
     /// Optional dynamics-aware historical fusion (the follow-up defence):
@@ -74,6 +76,7 @@ impl LandSharkConfig {
             f: 1,
             dt: 0.1,
             attack: AttackSelection::None,
+            detection: DetectionMode::Immediate,
             vehicle: VehicleParams::default(),
             history: None,
         }
@@ -83,6 +86,13 @@ impl LandSharkConfig {
     #[must_use]
     pub fn with_attack(mut self, attack: AttackSelection) -> Self {
         self.attack = attack;
+        self
+    }
+
+    /// Sets the detector (builder style).
+    #[must_use]
+    pub fn with_detection(mut self, detection: DetectionMode) -> Self {
+        self.detection = detection;
         self
     }
 
@@ -106,8 +116,9 @@ pub struct StepRecord {
     pub action: SupervisorAction,
     /// Sensors flagged by detection this round.
     pub flagged: Vec<usize>,
-    /// Which sensor was compromised this round, if any.
-    pub attacked: Option<usize>,
+    /// The full compromised set this round (ascending ids; empty when
+    /// nobody was attacked).
+    pub attacked: Vec<usize>,
 }
 
 /// A LandShark instance: vehicle + sensors + fusion engine + control.
@@ -119,6 +130,9 @@ pub struct LandShark {
     pi: PiController,
     supervisor: Supervisor,
     outcome: RoundOutcome,
+    /// `AttackSelection::Fixed`'s set, normalised (sorted, deduped) once
+    /// at construction so per-round records are a plain copy.
+    fixed_attacked: Vec<usize>,
 }
 
 impl LandShark {
@@ -133,14 +147,27 @@ impl LandShark {
             None => Box::new(MarzulloFuser::new(config.f)),
         };
         let mut pipeline = FusionPipeline::builder(arsf_sensor::suite::landshark())
-            .config(PipelineConfig::new(config.f, config.schedule.clone()))
+            .config(
+                PipelineConfig::new(config.f, config.schedule.clone())
+                    .with_detection(config.detection),
+            )
             .fuser(fuser)
             .build();
-        if let AttackSelection::Fixed(set) = &config.attack {
-            pipeline.set_attacker(Some((
-                AttackerConfig::new(set.iter().copied(), config.f),
+        let mut fixed_attacked = Vec::new();
+        match &config.attack {
+            AttackSelection::None => {}
+            AttackSelection::Fixed(set) => {
+                let attacker = AttackerConfig::new(set.iter().copied(), config.f);
+                fixed_attacked = attacker.compromised().to_vec();
+                pipeline.set_attacker(Some((attacker, Box::new(PhantomOptimal::new()))));
+            }
+            // The per-round compromised sensor is drawn inside step();
+            // the strategy itself is installed once and persists, so the
+            // hot loop only swaps the attacker *config*.
+            AttackSelection::RandomEachRound => pipeline.set_attacker(Some((
+                AttackerConfig::new([], config.f),
                 Box::new(PhantomOptimal::new()),
-            )));
+            ))),
         }
         Self {
             config,
@@ -149,6 +176,7 @@ impl LandShark {
             pi,
             supervisor,
             outcome: RoundOutcome::default(),
+            fixed_attacked,
         }
     }
 
@@ -172,6 +200,12 @@ impl LandShark {
         &self.config
     }
 
+    /// The persistent fusion engine (fuser/detector report names, round
+    /// counters).
+    pub fn pipeline(&self) -> &FusionPipeline<Box<dyn Fuser<f64>>> {
+        &self.pipeline
+    }
+
     /// Completed rounds.
     pub fn rounds(&self) -> u64 {
         self.pipeline.rounds()
@@ -181,22 +215,36 @@ impl LandShark {
     /// scheduled fusion round (with the attacker, if any), let the
     /// supervisor vet the fusion interval, and actuate.
     pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> StepRecord {
+        let mut outcome = std::mem::take(&mut self.outcome);
+        let record = self.step_with(rng, &mut outcome);
+        self.outcome = outcome;
+        record
+    }
+
+    /// [`LandShark::step`] writing the round's engine outcome into a
+    /// caller-owned reusable buffer — the allocation-free shape the
+    /// scenario runner uses when sweeping many closed-loop cells.
+    pub fn step_with<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        outcome: &mut RoundOutcome,
+    ) -> StepRecord {
         let truth = self.vehicle.speed();
-        let attacked: Option<usize> = match &self.config.attack {
-            AttackSelection::None => None,
-            AttackSelection::Fixed(set) => set.first().copied(),
+        let attacked: Vec<usize> = match &self.config.attack {
+            AttackSelection::None => Vec::new(),
+            AttackSelection::Fixed(_) => self.fixed_attacked.clone(),
             AttackSelection::RandomEachRound => {
                 let sensor = rng.gen_range(0..self.pipeline.suite().len());
-                self.pipeline.set_attacker(Some((
-                    AttackerConfig::new([sensor], self.config.f),
-                    Box::new(PhantomOptimal::new()),
-                )));
-                Some(sensor)
+                // Swap only the compromised set: the boxed strategy
+                // persists, so the hot loop performs no re-boxing.
+                self.pipeline
+                    .set_attacker_config(AttackerConfig::new([sensor], self.config.f));
+                vec![sensor]
             }
         };
-        self.pipeline.run_round_into(truth, rng, &mut self.outcome);
+        self.pipeline.run_round_into(truth, rng, outcome);
 
-        let (action, estimate) = match &self.outcome.fusion {
+        let (action, estimate) = match &outcome.fusion {
             Ok(fused) => (self.supervisor.check(fused), fused.midpoint()),
             // Fusion failure certifies over-budget faults; treat as a
             // brake-preempt with the last known-good estimate (target).
@@ -221,11 +269,11 @@ impl LandShark {
 
         StepRecord {
             true_speed: truth,
-            fusion: self.outcome.fusion.ok(),
+            fusion: outcome.fusion.ok(),
             action,
-            // Taking the vector is allocation-free on all-clear rounds;
-            // the engine rebuilds it next round.
-            flagged: std::mem::take(&mut self.outcome.flagged),
+            // Cloning is allocation-free on all-clear rounds; the caller
+            // keeps the buffer's vector for the summary aggregation.
+            flagged: outcome.flagged.clone(),
             attacked,
         }
     }
@@ -242,13 +290,63 @@ mod tests {
     }
 
     #[test]
+    fn fixed_multi_sensor_attack_reports_the_full_set() {
+        // Regression: StepRecord used to report only set.first() for
+        // AttackSelection::Fixed, silently misreporting multi-sensor
+        // attacks.
+        let mut rng = rng();
+        let config = LandSharkConfig::new(10.0, SchedulePolicy::Ascending)
+            .with_attack(AttackSelection::Fixed(vec![2, 0]));
+        let mut shark = LandShark::new(config);
+        let rec = shark.step(&mut rng);
+        assert_eq!(rec.attacked, vec![0, 2], "full sorted compromised set");
+    }
+
+    #[test]
+    fn step_with_matches_step_on_identical_streams() {
+        let build = || {
+            LandShark::new(
+                LandSharkConfig::new(10.0, SchedulePolicy::Descending)
+                    .with_attack(AttackSelection::RandomEachRound),
+            )
+        };
+        let mut rng_a = rng();
+        let mut rng_b = rng();
+        let mut a = build();
+        let mut b = build();
+        let mut buffer = RoundOutcome::default();
+        for round in 0..100 {
+            let ra = a.step(&mut rng_a);
+            let rb = b.step_with(&mut rng_b, &mut buffer);
+            assert_eq!(ra.fusion, rb.fusion, "round {round}");
+            assert_eq!(ra.action, rb.action);
+            assert_eq!(ra.flagged, rb.flagged);
+            assert_eq!(ra.attacked, rb.attacked);
+            assert_eq!(buffer.fusion.as_ref().ok().copied(), rb.fusion);
+        }
+        assert_eq!(a.speed(), b.speed());
+    }
+
+    #[test]
+    fn windowed_detection_flows_through_the_config() {
+        let config = LandSharkConfig::new(10.0, SchedulePolicy::Ascending).with_detection(
+            DetectionMode::Windowed {
+                window: 10,
+                tolerance: 3,
+            },
+        );
+        let shark = LandShark::new(config);
+        assert_eq!(shark.pipeline().detector().name(), "windowed");
+    }
+
+    #[test]
     fn honest_shark_holds_speed_without_violations() {
         let mut rng = rng();
         let mut shark = LandShark::new(LandSharkConfig::new(10.0, SchedulePolicy::Ascending));
         for _ in 0..200 {
             let rec = shark.step(&mut rng);
             assert!(rec.flagged.is_empty());
-            assert_eq!(rec.attacked, None);
+            assert!(rec.attacked.is_empty());
         }
         assert!(
             (shark.speed() - 10.0).abs() < 0.5,
@@ -368,9 +466,9 @@ mod tests {
         let mut shark = LandShark::new(config);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..100 {
-            if let Some(a) = shark.step(&mut rng).attacked {
-                seen.insert(a);
-            }
+            let rec = shark.step(&mut rng);
+            assert_eq!(rec.attacked.len(), 1, "one sensor per round");
+            seen.extend(rec.attacked);
         }
         assert!(
             seen.len() >= 3,

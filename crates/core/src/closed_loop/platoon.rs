@@ -8,7 +8,8 @@
 
 use rand::Rng;
 
-use crate::landshark::{LandShark, LandSharkConfig, StepRecord};
+use crate::closed_loop::landshark::{LandShark, LandSharkConfig, StepRecord};
+use crate::RoundOutcome;
 
 /// A column of LandSharks sharing one speed target.
 #[derive(Debug)]
@@ -61,6 +62,33 @@ impl Platoon {
     /// statistics. Returns the per-vehicle step records, leader first.
     pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<StepRecord> {
         let records: Vec<StepRecord> = self.sharks.iter_mut().map(|s| s.step(rng)).collect();
+        self.update_gaps();
+        records
+    }
+
+    /// [`Platoon::step`] writing the **leader's** engine outcome into a
+    /// caller-owned reusable buffer (followers keep their internal
+    /// buffers) — the shape the scenario runner uses so closed-loop
+    /// platoon cells report the leader's fusion statistics without
+    /// per-round cloning.
+    pub fn step_with<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        leader_outcome: &mut RoundOutcome,
+    ) -> Vec<StepRecord> {
+        let mut records = Vec::with_capacity(self.sharks.len());
+        for (i, shark) in self.sharks.iter_mut().enumerate() {
+            records.push(if i == 0 {
+                shark.step_with(rng, leader_outcome)
+            } else {
+                shark.step(rng)
+            });
+        }
+        self.update_gaps();
+        records
+    }
+
+    fn update_gaps(&mut self) {
         for i in 1..self.sharks.len() {
             let ahead = self.sharks[i - 1].position() + self.start_offsets[i - 1];
             let behind = self.sharks[i].position() + self.start_offsets[i];
@@ -69,7 +97,6 @@ impl Platoon {
                 self.min_gap = gap;
             }
         }
-        records
     }
 
     /// The configured initial gap (miles).
@@ -81,7 +108,7 @@ impl Platoon {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::landshark::AttackSelection;
+    use crate::closed_loop::landshark::AttackSelection;
     use arsf_schedule::SchedulePolicy;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -32,7 +32,7 @@ pub enum SupervisorAction {
 ///
 /// ```
 /// use arsf_interval::Interval;
-/// use arsf_sim::supervisor::{Supervisor, SupervisorAction};
+/// use arsf_core::closed_loop::supervisor::{Supervisor, SupervisorAction};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut sup = Supervisor::new(10.0, 0.5, 0.5);

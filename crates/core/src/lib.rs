@@ -74,6 +74,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod closed_loop;
 mod config;
 pub mod metrics;
 mod pipeline;

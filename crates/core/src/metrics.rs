@@ -87,6 +87,27 @@ fn rate(hits: u64, total: u64) -> f64 {
     }
 }
 
+/// The closed-loop supervisor columns a Table II sweep row reports.
+///
+/// Produced only by closed-loop scenario runs (see
+/// [`ClosedLoopSpec`](crate::scenario::ClosedLoopSpec)); open-loop rows
+/// carry `None` and render the columns empty/`null`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorSummary {
+    /// Fraction of supervised rounds whose fusion upper bound escaped
+    /// `v + δ1` (Table II row 1). Platoon runs pool all vehicles.
+    pub above_rate: f64,
+    /// Fraction of supervised rounds whose fusion lower bound escaped
+    /// `v − δ2` (Table II row 2). Platoon runs pool all vehicles.
+    pub below_rate: f64,
+    /// Control periods in which the supervisor preempted the low-level
+    /// controller (any vehicle, including fusion-failure brake preempts).
+    pub preemptions: u64,
+    /// Smallest inter-vehicle gap observed (miles); `None` for a single
+    /// vehicle.
+    pub min_gap: Option<f64>,
+}
+
 /// Streaming width statistics (mean / min / max) without storing samples.
 ///
 /// # Example

@@ -242,6 +242,28 @@ impl<F: Fuser<f64>> FusionPipeline<F> {
         self.attacker = attacker;
     }
 
+    /// Replaces only the **configuration** of the installed attacker,
+    /// keeping the boxed strategy (and any state it carries, such as
+    /// [`PhantomOptimal`](arsf_attack::strategies::PhantomOptimal)'s
+    /// side-alternation) alive — the allocation-free way to express a
+    /// per-round compromised set in a hot control loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no attacker is installed or a compromised index is out
+    /// of range for the suite.
+    pub fn set_attacker_config(&mut self, config: AttackerConfig) {
+        assert!(
+            config.compromised().iter().all(|&i| i < self.suite.len()),
+            "compromised sensor index out of range"
+        );
+        let (cfg, _) = self
+            .attacker
+            .as_mut()
+            .expect("set_attacker_config needs an installed attacker");
+        *cfg = config;
+    }
+
     /// Runs one communication round at the given ground truth.
     ///
     /// The round unfolds exactly as in the paper: every sensor samples,

@@ -8,12 +8,16 @@
 //! [`BatchSummary`] aggregates the statistics the experiment harnesses
 //! report.
 
+use arsf_attack::AttackerConfig;
 use arsf_fusion::Fuser;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-use crate::metrics::WidthStats;
-use crate::scenario::Scenario;
+use crate::closed_loop::landshark::LandShark;
+use crate::closed_loop::platoon::Platoon;
+use crate::closed_loop::supervisor::SupervisorAction;
+use crate::metrics::{SupervisorSummary, WidthStats};
+use crate::scenario::{AttackerSpec, PlatoonSpec, Scenario};
 use crate::{FusionPipeline, RoundOutcome};
 
 /// Aggregated results of one scenario run.
@@ -25,7 +29,10 @@ pub struct BatchSummary {
     pub fuser: String,
     /// The detector that ran (report name).
     pub detector: String,
-    /// Rounds executed.
+    /// Rounds executed. Closed-loop platoon runs count control periods
+    /// (not vehicle-rounds); the fusion-quality statistics then describe
+    /// the **leader**, while [`BatchSummary::supervisor`] pools every
+    /// vehicle.
     pub rounds: u64,
     /// Width statistics over rounds whose fusion succeeded.
     pub widths: WidthStats,
@@ -38,6 +45,9 @@ pub struct BatchSummary {
     /// Sensors condemned as of the last round whose fusion succeeded
     /// (ascending ids) — detection only runs on fused rounds.
     pub condemned: Vec<usize>,
+    /// Safety-supervisor statistics, cumulative over the runner's
+    /// lifetime; `None` for open-loop runs.
+    pub supervisor: Option<SupervisorSummary>,
 }
 
 impl BatchSummary {
@@ -52,6 +62,7 @@ impl BatchSummary {
             fusion_failures: 0,
             flagged_rounds: 0,
             condemned: Vec::new(),
+            supervisor: None,
         }
     }
 
@@ -112,24 +123,55 @@ impl BatchSummary {
 #[derive(Debug)]
 pub struct ScenarioRunner {
     scenario: Scenario,
-    pipeline: FusionPipeline<Box<dyn Fuser<f64>>>,
+    engine: Engine,
     rng: StdRng,
     round: u64,
+    preemptions: u64,
+}
+
+/// The materialised execution engine behind one runner: open-loop fusion
+/// rounds, a single closed-loop vehicle, or a closed-loop platoon.
+#[derive(Debug)]
+enum Engine {
+    Open(Box<FusionPipeline<Box<dyn Fuser<f64>>>>),
+    Shark(Box<LandShark>),
+    Platoon(Box<Platoon>),
+}
+
+fn build_engine(scenario: &Scenario) -> Engine {
+    match &scenario.closed_loop {
+        None => Engine::Open(Box::new(scenario.build_pipeline())),
+        Some(spec) => {
+            let config = scenario.landshark_config();
+            match spec.platoon {
+                None => Engine::Shark(Box::new(LandShark::new(config))),
+                Some(PlatoonSpec { size, gap_miles }) => {
+                    Engine::Platoon(Box::new(Platoon::new(size, gap_miles, config)))
+                }
+            }
+        }
+    }
 }
 
 impl ScenarioRunner {
-    /// Materialises a scenario (cloned) into a runnable engine.
+    /// Materialises a scenario (cloned) into a runnable engine: an
+    /// open-loop [`FusionPipeline`], or — for closed-loop scenarios — a
+    /// [`LandShark`] / [`Platoon`] driven through the vehicle control
+    /// loop.
     ///
     /// # Panics
     ///
     /// Panics if the scenario references sensor indices outside its
-    /// suite (see [`Scenario::build_pipeline`]).
+    /// suite (see [`Scenario::build_pipeline`]) or combines closed-loop
+    /// execution with unsupported axes (see
+    /// [`Scenario::landshark_config`]).
     pub fn new(scenario: &Scenario) -> Self {
         Self {
             scenario: scenario.clone(),
-            pipeline: scenario.build_pipeline(),
+            engine: build_engine(scenario),
             rng: StdRng::seed_from_u64(scenario.seed),
             round: 0,
+            preemptions: 0,
         }
     }
 
@@ -144,9 +186,34 @@ impl ScenarioRunner {
     }
 
     /// Runs one round into a reusable outcome buffer.
+    ///
+    /// Closed-loop engines fill the buffer with the vehicle's (for
+    /// platoons: the **leader's**) fusion round; the ground truth is the
+    /// vehicle's actual speed.
     pub fn step_into(&mut self, out: &mut RoundOutcome) {
-        let truth = self.scenario.truth.at(self.round);
-        self.pipeline.run_round_into(truth, &mut self.rng, out);
+        match &mut self.engine {
+            Engine::Open(pipeline) => {
+                if self.scenario.attacker == AttackerSpec::RandomEachRound {
+                    let sensor = self.rng.gen_range(0..pipeline.suite().len());
+                    pipeline.set_attacker_config(AttackerConfig::new([sensor], self.scenario.f));
+                }
+                let truth = self.scenario.truth.at(self.round);
+                pipeline.run_round_into(truth, &mut self.rng, out);
+            }
+            Engine::Shark(shark) => {
+                let record = shark.step_with(&mut self.rng, out);
+                if record.action != SupervisorAction::Nominal {
+                    self.preemptions += 1;
+                }
+            }
+            Engine::Platoon(platoon) => {
+                let records = platoon.step_with(&mut self.rng, out);
+                self.preemptions += records
+                    .iter()
+                    .filter(|r| r.action != SupervisorAction::Nominal)
+                    .count() as u64;
+            }
+        }
         self.round += 1;
     }
 
@@ -163,6 +230,7 @@ impl ScenarioRunner {
             self.step_into(out);
             summary.record(out);
         }
+        self.attach_supervisor(&mut summary);
         summary
     }
 
@@ -181,23 +249,72 @@ impl ScenarioRunner {
             self.step_into(out);
             summary.record(out);
         }
+        self.attach_supervisor(&mut summary);
         summary
     }
 
-    /// Restarts the run: fuser/detector state, round counter and RNG
-    /// return to the scenario's initial state.
+    /// Restarts the run: engine state, round counter and RNG return to
+    /// the scenario's initial state.
+    ///
+    /// The engine is rebuilt from the scenario rather than reset in
+    /// place: `FusionPipeline::reset` cannot reach state carried inside a
+    /// boxed attack strategy (e.g. `PhantomOptimal`'s side-alternation),
+    /// and a closed-loop vehicle restarts mid-mission at the target
+    /// speed — rebuilding reproduces exactly what `ScenarioRunner::new`
+    /// constructed.
     pub fn reset(&mut self) {
-        self.pipeline.reset();
+        self.engine = build_engine(&self.scenario);
         self.rng = StdRng::seed_from_u64(self.scenario.seed);
         self.round = 0;
+        self.preemptions = 0;
     }
 
     fn summary_shell(&self) -> BatchSummary {
+        let pipeline: &FusionPipeline<Box<dyn Fuser<f64>>> = match &self.engine {
+            Engine::Open(pipeline) => pipeline,
+            Engine::Shark(shark) => shark.pipeline(),
+            Engine::Platoon(platoon) => platoon.sharks()[0].pipeline(),
+        };
         BatchSummary::new(
             &self.scenario,
-            self.pipeline.fuser().name(),
-            self.pipeline.detector().name(),
+            pipeline.fuser().name(),
+            pipeline.detector().name(),
         )
+    }
+
+    /// Fills the summary's supervisor columns from the closed-loop
+    /// engine's cumulative statistics (no-op for open-loop runs).
+    fn attach_supervisor(&self, summary: &mut BatchSummary) {
+        summary.supervisor = match &self.engine {
+            Engine::Open(_) => None,
+            Engine::Shark(shark) => Some(SupervisorSummary {
+                above_rate: shark.supervisor().upper_rate(),
+                below_rate: shark.supervisor().lower_rate(),
+                preemptions: self.preemptions,
+                min_gap: None,
+            }),
+            Engine::Platoon(platoon) => {
+                let (mut above, mut below, mut rounds) = (0u64, 0u64, 0u64);
+                for shark in platoon.sharks() {
+                    above += shark.supervisor().upper_violations();
+                    below += shark.supervisor().lower_violations();
+                    rounds += shark.supervisor().rounds();
+                }
+                let rate = |hits: u64| {
+                    if rounds == 0 {
+                        0.0
+                    } else {
+                        hits as f64 / rounds as f64
+                    }
+                };
+                Some(SupervisorSummary {
+                    above_rate: rate(above),
+                    below_rate: rate(below),
+                    preemptions: self.preemptions,
+                    min_gap: Some(platoon.min_gap()),
+                })
+            }
+        };
     }
 }
 
@@ -254,6 +371,30 @@ mod tests {
         for out in &outcomes {
             assert!(out.fusion.is_ok());
         }
+    }
+
+    #[test]
+    fn reset_restores_attacker_strategy_state() {
+        // Regression: reset() used to call only FusionPipeline::reset,
+        // which cannot reach state carried inside the boxed strategy —
+        // PhantomOptimal alternates a mirror flag per forge, so after an
+        // odd number of attacked rounds a reset runner diverged from a
+        // fresh one.
+        let scenario = quick("reset-attacked")
+            .with_schedule(SchedulePolicy::Descending)
+            .with_attacker(AttackerSpec::Fixed {
+                sensors: vec![0],
+                strategy: StrategySpec::PhantomOptimal,
+            });
+        let mut runner = ScenarioRunner::new(&scenario);
+        let mut outcomes = Vec::new();
+        let first = runner.run_batch(7, &mut outcomes); // odd forge count
+        let first_forged: Vec<_> = outcomes.iter().map(|o| o.transmitted.clone()).collect();
+        runner.reset();
+        let again = runner.run_batch(7, &mut outcomes);
+        let again_forged: Vec<_> = outcomes.iter().map(|o| o.transmitted.clone()).collect();
+        assert_eq!(first, again);
+        assert_eq!(first_forged, again_forged, "forged streams must restart");
     }
 
     #[test]

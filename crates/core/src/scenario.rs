@@ -17,6 +17,8 @@
 use arsf_attack::strategies::{GreedyExtreme, PhantomOptimal, Side};
 use arsf_attack::{AttackStrategy, AttackerConfig, Truthful};
 use arsf_fusion::historical::{DynamicsBound, HistoricalFuser};
+
+use crate::closed_loop::landshark::{AttackSelection, LandSharkConfig};
 use arsf_fusion::{
     BrooksIyengarFuser, Fuser, HullFuser, IntersectionFuser, InverseVarianceFuser, MarzulloFuser,
     MidpointMedianFuser,
@@ -120,6 +122,12 @@ pub enum AttackerSpec {
         /// The streaming strategy they execute.
         strategy: StrategySpec,
     },
+    /// One compromised sensor re-drawn uniformly every round, running the
+    /// stealthy [`StrategySpec::PhantomOptimal`] forger — Table II's
+    /// "any sensor can be attacked" model. Works in both execution modes:
+    /// the runner swaps only the attacker *config* on a persistent
+    /// strategy each round.
+    RandomEachRound,
 }
 
 impl AttackerSpec {
@@ -131,8 +139,32 @@ impl AttackerSpec {
                 let ids: Vec<String> = sensors.iter().map(|s| format!("{s}")).collect();
                 format!("{}@{}", strategy.name(), ids.join("|"))
             }
+            AttackerSpec::RandomEachRound => "random-each-round".to_string(),
         }
     }
+}
+
+/// A compact, CSV-safe label for one fault-injection set, e.g. `none` or
+/// `0:bias(3)@0.2|2:silent@1` — the sweep reports use it so two rows of a
+/// `fault_sets(...)` axis stay distinguishable.
+pub fn faults_label(faults: &[(usize, FaultModel)]) -> String {
+    if faults.is_empty() {
+        return "none".to_string();
+    }
+    let parts: Vec<String> = faults
+        .iter()
+        .map(|(sensor, fault)| {
+            let kind = match fault.kind() {
+                arsf_sensor::FaultKind::StuckAt { value } => format!("stuck({value})"),
+                arsf_sensor::FaultKind::Bias { offset } => format!("bias({offset})"),
+                arsf_sensor::FaultKind::Scale { factor } => format!("scale({factor})"),
+                arsf_sensor::FaultKind::Silent => "silent".to_string(),
+                other => format!("{other:?}").to_lowercase(),
+            };
+            format!("{sensor}:{kind}@{}", fault.probability())
+        })
+        .collect();
+    parts.join("|")
 }
 
 /// Which fusion algorithm the scenario's engine runs.
@@ -219,6 +251,71 @@ impl TruthSpec {
     }
 }
 
+/// A platoon extension of a closed-loop scenario: how many vehicles and
+/// the initial spacing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatoonSpec {
+    /// Number of vehicles (leader first).
+    pub size: usize,
+    /// Initial inter-vehicle gap in miles.
+    pub gap_miles: f64,
+}
+
+/// Closed-loop execution: drive a LandShark (or a platoon of them)
+/// through the vehicle control loop instead of an open-loop
+/// [`FusionPipeline`](crate::FusionPipeline).
+///
+/// The scenario's schedule, fault assumption `f`, fuser, detector,
+/// attacker, rounds and seed all carry over; the ground truth is the
+/// vehicle's *actual speed* (so [`TruthSpec`] is ignored), and the
+/// summary gains the supervisor's Table II columns
+/// ([`SupervisorSummary`](crate::metrics::SupervisorSummary)).
+///
+/// Closed-loop scenarios are restricted to what the vehicle supports:
+/// the LandShark suite, no fault injection, Marzullo or Historical
+/// fusion, and phantom-optimal attack strategies (see
+/// [`Scenario::landshark_config`] for the exact panics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClosedLoopSpec {
+    /// Target speed `v` in mph.
+    pub target_speed: f64,
+    /// Upper envelope half-width `δ1`.
+    pub delta_up: f64,
+    /// Lower envelope half-width `δ2`.
+    pub delta_down: f64,
+    /// Run a platoon instead of a single vehicle.
+    pub platoon: Option<PlatoonSpec>,
+}
+
+impl ClosedLoopSpec {
+    /// The case study's envelope around a target speed:
+    /// `δ1 = δ2 = 0.5` mph, single vehicle.
+    pub fn new(target_speed: f64) -> Self {
+        Self {
+            target_speed,
+            delta_up: 0.5,
+            delta_down: 0.5,
+            platoon: None,
+        }
+    }
+
+    /// Sets the envelope half-widths (builder style).
+    #[must_use]
+    pub fn with_deltas(mut self, delta_up: f64, delta_down: f64) -> Self {
+        self.delta_up = delta_up;
+        self.delta_down = delta_down;
+        self
+    }
+
+    /// Runs a platoon of `size` vehicles spaced `gap_miles` apart
+    /// (builder style).
+    #[must_use]
+    pub fn with_platoon(mut self, size: usize, gap_miles: f64) -> Self {
+        self.platoon = Some(PlatoonSpec { size, gap_miles });
+        self
+    }
+}
+
 /// A complete, declarative experiment description.
 ///
 /// # Example
@@ -260,6 +357,11 @@ pub struct Scenario {
     pub rounds: u64,
     /// RNG seed (runs are deterministic given the scenario).
     pub seed: u64,
+    /// Closed-loop execution: when set, the runner drives a
+    /// [`LandShark`](crate::closed_loop::landshark::LandShark) (or a
+    /// [`Platoon`](crate::closed_loop::platoon::Platoon)) instead of an
+    /// open-loop pipeline.
+    pub closed_loop: Option<ClosedLoopSpec>,
 }
 
 impl Scenario {
@@ -279,6 +381,7 @@ impl Scenario {
             truth: TruthSpec::Constant(10.0),
             rounds: 1000,
             seed: 2014,
+            closed_loop: None,
         }
     }
 
@@ -352,6 +455,14 @@ impl Scenario {
         self
     }
 
+    /// Switches the scenario to closed-loop vehicle execution (builder
+    /// style).
+    #[must_use]
+    pub fn with_closed_loop(mut self, spec: ClosedLoopSpec) -> Self {
+        self.closed_loop = Some(spec);
+        self
+    }
+
     /// Materialises the scenario into an engine over boxed trait objects.
     ///
     /// # Panics
@@ -378,7 +489,73 @@ impl Scenario {
                     strategy.build(),
                 )
                 .build(),
+            // Installed with an empty compromised set: the runner swaps
+            // the attacker config to the round's drawn sensor before
+            // every round (see `ScenarioRunner::step_into`).
+            AttackerSpec::RandomEachRound => builder
+                .attacker(
+                    AttackerConfig::new([], self.f),
+                    StrategySpec::PhantomOptimal.build(),
+                )
+                .build(),
         }
+    }
+
+    /// Maps a closed-loop scenario onto the vehicle configuration the
+    /// runner materialises into a
+    /// [`LandShark`](crate::closed_loop::landshark::LandShark).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scenario is not closed-loop, or combines
+    /// closed-loop execution with anything the vehicle does not support:
+    /// a non-LandShark suite, fault injection, a fuser other than
+    /// [`FuserSpec::Marzullo`] / [`FuserSpec::Historical`], or a fixed
+    /// attacker running a strategy other than
+    /// [`StrategySpec::PhantomOptimal`].
+    pub fn landshark_config(&self) -> LandSharkConfig {
+        let spec = self
+            .closed_loop
+            .as_ref()
+            .expect("landshark_config needs a closed-loop scenario");
+        assert_eq!(
+            self.suite,
+            SuiteSpec::Landshark,
+            "closed-loop scenarios run the LandShark suite"
+        );
+        assert!(
+            self.faults.is_empty(),
+            "closed-loop scenarios do not support fault injection"
+        );
+        let (history, dt) = match self.fuser {
+            FuserSpec::Marzullo => (None, 0.1),
+            FuserSpec::Historical { max_rate, dt } => (Some(DynamicsBound::new(max_rate)), dt),
+            ref other => panic!(
+                "closed-loop scenarios fuse with marzullo or historical, not {}",
+                other.name()
+            ),
+        };
+        let attack = match &self.attacker {
+            AttackerSpec::None => AttackSelection::None,
+            AttackerSpec::Fixed { sensors, strategy } => {
+                assert_eq!(
+                    *strategy,
+                    StrategySpec::PhantomOptimal,
+                    "the vehicle's fixed attacker runs phantom-optimal"
+                );
+                AttackSelection::Fixed(sensors.clone())
+            }
+            AttackerSpec::RandomEachRound => AttackSelection::RandomEachRound,
+        };
+        let mut config = LandSharkConfig::new(spec.target_speed, self.schedule.clone());
+        config.delta_up = spec.delta_up;
+        config.delta_down = spec.delta_down;
+        config.f = self.f;
+        config.dt = dt;
+        config.attack = attack;
+        config.detection = self.detector;
+        config.history = history;
+        config
     }
 }
 
@@ -522,7 +699,29 @@ pub fn registry() -> Vec<Scenario> {
             strategy: StrategySpec::PhantomOptimal,
         })
         .with_truth(TruthSpec::Constant(0.0)),
+        // Closed-loop presets: Table II's three schedule cells (one
+        // uniformly-random compromised sensor per round, LandShark at
+        // 10 mph inside the [9.5, 10.5] envelope) and the platoon under
+        // the historical-fusion defence.
+        table2_preset(SchedulePolicy::Ascending),
+        table2_preset(SchedulePolicy::Descending),
+        table2_preset(SchedulePolicy::Random),
+        Scenario::new("platoon-historical", SuiteSpec::Landshark)
+            .with_schedule(SchedulePolicy::Descending)
+            .with_attacker(AttackerSpec::RandomEachRound)
+            .with_fuser(FuserSpec::Historical {
+                max_rate: 3.5,
+                dt: 0.1,
+            })
+            .with_closed_loop(ClosedLoopSpec::new(10.0).with_platoon(3, 0.01)),
     ]
+}
+
+fn table2_preset(schedule: SchedulePolicy) -> Scenario {
+    Scenario::new(format!("table2-{}", schedule.name()), SuiteSpec::Landshark)
+        .with_schedule(schedule)
+        .with_attacker(AttackerSpec::RandomEachRound)
+        .with_closed_loop(ClosedLoopSpec::new(10.0))
 }
 
 /// Looks a preset up by name.

@@ -56,7 +56,7 @@ use arsf_schedule::SchedulePolicy;
 use arsf_sensor::FaultModel;
 
 use crate::runner::{BatchSummary, ScenarioRunner};
-use crate::scenario::{AttackerSpec, FuserSpec, Scenario, SuiteSpec};
+use crate::scenario::{faults_label, AttackerSpec, FuserSpec, Scenario, SuiteSpec};
 use crate::{DetectionMode, RoundOutcome};
 
 /// Derives the RNG seed for one grid cell from the seed-axis value and
@@ -240,6 +240,7 @@ impl SweepGrid {
             truth: self.base.truth,
             rounds,
             seed: derive_seed(seed, index as u64),
+            closed_loop: self.base.closed_loop,
         }
     }
 
@@ -311,6 +312,7 @@ fn run_cell(cell: SweepCell, buffer: &mut RoundOutcome) -> SweepRow {
     SweepRow {
         cell: cell.index,
         suite: cell.scenario.suite.label(),
+        faults: faults_label(&cell.scenario.faults),
         attacker: cell.scenario.attacker.label(),
         schedule: cell.scenario.schedule.name().to_string(),
         rounds: cell.scenario.rounds,
@@ -327,6 +329,10 @@ pub struct SweepRow {
     pub cell: usize,
     /// Suite label (see [`SuiteSpec::label`]).
     pub suite: String,
+    /// Fault-set label (see [`faults_label`]) — without it two rows of a
+    /// `fault_sets(...)` axis would be indistinguishable except by cell
+    /// index.
+    pub faults: String,
     /// Attacker label (see [`AttackerSpec::label`]).
     pub attacker: String,
     /// Schedule name.
@@ -365,19 +371,24 @@ impl SweepReport {
     /// Renders the report as CSV (header + one line per cell). Fields
     /// containing separators are quoted; floats use Rust's shortest
     /// round-trip formatting, so equal reports render byte-identically.
+    /// The supervisor columns (`above_rate`, `below_rate`, `preemptions`,
+    /// `min_gap`) are empty for open-loop rows.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "cell,scenario,suite,attacker,schedule,fuser,detector,rounds,seed,\
+            "cell,scenario,suite,faults,attacker,schedule,fuser,detector,rounds,seed,\
              mean_width,min_width,max_width,truth_lost,truth_loss_rate,\
-             fusion_failures,flagged_rounds,condemned\n",
+             fusion_failures,flagged_rounds,condemned,\
+             above_rate,below_rate,preemptions,min_gap\n",
         );
         for row in &self.rows {
             let s = &row.summary;
             let condemned: Vec<String> = s.condemned.iter().map(|c| format!("{c}")).collect();
+            let sup = s.supervisor.as_ref();
             let cells = [
                 format!("{}", row.cell),
                 csv_field(&s.scenario),
                 csv_field(&row.suite),
+                csv_field(&row.faults),
                 csv_field(&row.attacker),
                 csv_field(&row.schedule),
                 csv_field(&s.fuser),
@@ -392,6 +403,11 @@ impl SweepReport {
                 format!("{}", s.fusion_failures),
                 format!("{}", s.flagged_rounds),
                 csv_field(&condemned.join("|")),
+                sup.map_or(String::new(), |v| format!("{}", v.above_rate)),
+                sup.map_or(String::new(), |v| format!("{}", v.below_rate)),
+                sup.map_or(String::new(), |v| format!("{}", v.preemptions)),
+                sup.and_then(|v| v.min_gap)
+                    .map_or(String::new(), |g| format!("{g}")),
             ];
             out.push_str(&cells.join(","));
             out.push('\n');
@@ -400,7 +416,8 @@ impl SweepReport {
     }
 
     /// Renders the report as a JSON array of row objects (no external
-    /// dependencies; strings are escaped, absent min/max become `null`).
+    /// dependencies; strings are escaped, absent min/max and the
+    /// supervisor columns of open-loop rows become `null`).
     pub fn to_json(&self) -> String {
         let mut out = String::from("[");
         for (i, row) in self.rows.iter().enumerate() {
@@ -409,15 +426,18 @@ impl SweepReport {
             }
             let s = &row.summary;
             let condemned: Vec<String> = s.condemned.iter().map(|c| format!("{c}")).collect();
+            let sup = s.supervisor.as_ref();
             out.push_str(&format!(
-                "\n  {{\"cell\":{},\"scenario\":{},\"suite\":{},\"attacker\":{},\
+                "\n  {{\"cell\":{},\"scenario\":{},\"suite\":{},\"faults\":{},\"attacker\":{},\
                  \"schedule\":{},\"fuser\":{},\"detector\":{},\"rounds\":{},\"seed\":{},\
                  \"mean_width\":{},\"min_width\":{},\"max_width\":{},\"truth_lost\":{},\
                  \"truth_loss_rate\":{},\"fusion_failures\":{},\"flagged_rounds\":{},\
-                 \"condemned\":[{}]}}",
+                 \"condemned\":[{}],\"above_rate\":{},\"below_rate\":{},\
+                 \"preemptions\":{},\"min_gap\":{}}}",
                 row.cell,
                 json_string(&s.scenario),
                 json_string(&row.suite),
+                json_string(&row.faults),
                 json_string(&row.attacker),
                 json_string(&row.schedule),
                 json_string(&s.fuser),
@@ -436,6 +456,11 @@ impl SweepReport {
                 s.fusion_failures,
                 s.flagged_rounds,
                 condemned.join(","),
+                sup.map_or("null".to_string(), |v| format!("{}", v.above_rate)),
+                sup.map_or("null".to_string(), |v| format!("{}", v.below_rate)),
+                sup.map_or("null".to_string(), |v| format!("{}", v.preemptions)),
+                sup.and_then(|v| v.min_gap)
+                    .map_or("null".to_string(), |g| format!("{g}")),
             ));
         }
         out.push_str("\n]\n");
@@ -734,15 +759,30 @@ mod tests {
 
     #[test]
     fn csv_has_header_and_one_line_per_cell() {
-        let grid = SweepGrid::new(attacked_base(20)).fusers([FuserSpec::Marzullo, FuserSpec::Hull]);
+        let grid = SweepGrid::new(attacked_base(20))
+            .fusers([FuserSpec::Marzullo, FuserSpec::Hull])
+            .fault_sets([
+                vec![],
+                vec![(2, FaultModel::new(FaultKind::Bias { offset: 3.0 }, 0.25))],
+            ]);
         let csv = grid.run_serial().to_csv();
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines.len(), 3);
-        assert!(lines[0].starts_with("cell,scenario,suite,attacker,schedule,fuser,detector"));
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("cell,scenario,suite,faults,attacker,schedule,fuser,detector"));
+        assert!(lines[0].ends_with("above_rate,below_rate,preemptions,min_gap"));
         assert!(lines[1].contains("marzullo"));
         assert!(lines[2].contains("hull"));
         assert!(lines[1].contains("landshark"));
         assert!(lines[1].contains("phantom-optimal@0"));
+        // Regression: the fault-set coordinate used to be omitted, so the
+        // two fault-axis rows of a cell were indistinguishable except by
+        // index.
+        assert!(lines[1].contains(",none,"), "honest cell labels `none`");
+        assert!(
+            lines[3].contains(",2:bias(3)@0.25,"),
+            "faulty cell carries its fault-set label: {}",
+            lines[3]
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! Supporting substrates: a longitudinal vehicle model ([`vehicle`]), a
 //! PI speed controller ([`controller`]), the fusion-bound safety
 //! supervisor ([`supervisor`]), the single-vehicle LandShark assembly
-//! ([`landshark`]) and the three-vehicle platoon ([`platoon`]).
+//! ([`landshark`]) and the three-vehicle platoon ([`platoon`]) — all
+//! hosted in [`arsf_core::closed_loop`] (so the scenario/sweep engines
+//! can drive them) and re-exported here under their original paths.
 //!
 //! # Example
 //!
@@ -36,11 +38,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod controller;
 pub mod faults;
-pub mod landshark;
-pub mod platoon;
-pub mod supervisor;
 pub mod table1;
 pub mod table2;
-pub mod vehicle;
+
+// The vehicle stack lives in `arsf_core::closed_loop` so the declarative
+// scenario runner and the sweep grid can build closed-loop engines; these
+// re-exports keep `arsf_sim::landshark::LandShark` & friends the
+// canonical simulation-facing paths.
+pub use arsf_core::closed_loop::{controller, landshark, platoon, supervisor, vehicle};

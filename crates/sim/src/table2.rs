@@ -8,17 +8,24 @@
 //! uniformly random compromised sensor each round. For each schedule the
 //! engine reports the fraction of rounds whose fusion interval exceeded
 //! 10.5 mph (row 1) or dropped below 9.5 mph (row 2).
+//!
+//! Since the closed-loop redesign this engine is a thin aggregation over
+//! the deterministic sweep grid: [`sweep_grid`] lays the three schedules
+//! × `replicates` Monte Carlo seeds out as closed-loop cells,
+//! [`report`] executes them (serial or sharded across
+//! [`ParallelSweeper`] workers — byte-identical either way), and
+//! [`run_all`] pools each schedule's replicate rows into the
+//! paper-facing [`Table2Row`]s. Any cell can be re-run in isolation via
+//! `sweep_grid(..).scenario(i)`.
 
+use arsf_core::scenario::{AttackerSpec, ClosedLoopSpec, Scenario, SuiteSpec};
+use arsf_core::sweep::{ParallelSweeper, SweepGrid, SweepReport};
 use arsf_schedule::SchedulePolicy;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use crate::landshark::{AttackSelection, LandShark, LandSharkConfig};
 
 /// Configuration for a Table II run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Table2Config {
-    /// Number of control rounds per schedule.
+    /// Number of control rounds per schedule cell.
     pub rounds: u64,
     /// Target speed `v` (mph).
     pub target: f64,
@@ -26,12 +33,17 @@ pub struct Table2Config {
     pub delta_up: f64,
     /// Lower envelope half-width `δ2`.
     pub delta_down: f64,
-    /// RNG seed (each schedule derives its own stream from it).
+    /// RNG seed (each grid cell derives its own stream from it).
     pub seed: u64,
+    /// Monte Carlo replicates per schedule (seed-axis length).
+    pub replicates: usize,
+    /// Worker threads executing the grid.
+    pub threads: usize,
 }
 
 impl Default for Table2Config {
-    /// The paper's parameters with 20 000 rounds.
+    /// The paper's parameters with 20 000 rounds, one replicate, serial
+    /// execution.
     fn default() -> Self {
         Self {
             rounds: 20_000,
@@ -39,11 +51,14 @@ impl Default for Table2Config {
             delta_up: 0.5,
             delta_down: 0.5,
             seed: 20140324,
+            replicates: 1,
+            threads: 1,
         }
     }
 }
 
-/// One Table II cell pair: violation rates for a schedule.
+/// One Table II cell pair: violation rates for a schedule, pooled across
+/// the configured replicates.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Table2Row {
     /// The schedule's name.
@@ -54,50 +69,92 @@ pub struct Table2Row {
     pub below: f64,
 }
 
-/// Runs one schedule for [`Table2Config::rounds`] control periods and
-/// returns its violation rates.
-pub fn run_schedule(policy: SchedulePolicy, config: &Table2Config) -> Table2Row {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ hash_name(policy.name()));
-    let shark_config = LandSharkConfig {
-        target_speed: config.target,
-        delta_up: config.delta_up,
-        delta_down: config.delta_down,
-        schedule: policy.clone(),
-        f: 1,
-        dt: 0.1,
-        attack: AttackSelection::RandomEachRound,
-        vehicle: crate::vehicle::VehicleParams::default(),
-        history: None,
-    };
-    let mut shark = LandShark::new(shark_config);
-    for _ in 0..config.rounds {
-        shark.step(&mut rng);
+/// The schedules Table II compares, in the paper's column order.
+pub const SCHEDULES: [SchedulePolicy; 3] = [
+    SchedulePolicy::Ascending,
+    SchedulePolicy::Descending,
+    SchedulePolicy::Random,
+];
+
+/// The closed-loop base scenario every Table II cell varies from.
+fn base_scenario(config: &Table2Config) -> Scenario {
+    Scenario::new("table2", SuiteSpec::Landshark)
+        .with_attacker(AttackerSpec::RandomEachRound)
+        .with_rounds(config.rounds)
+        .with_seed(config.seed)
+        .with_closed_loop(
+            ClosedLoopSpec::new(config.target).with_deltas(config.delta_up, config.delta_down),
+        )
+}
+
+/// The Table II sweep grid: `schedules × replicates` closed-loop cells
+/// (schedule axis slow, seed axis fast — matching the generic grid's
+/// decode order).
+pub fn sweep_grid(config: &Table2Config) -> SweepGrid {
+    grid_over(config, SCHEDULES)
+}
+
+fn grid_over(
+    config: &Table2Config,
+    schedules: impl IntoIterator<Item = SchedulePolicy>,
+) -> SweepGrid {
+    SweepGrid::new(base_scenario(config))
+        .schedules(schedules)
+        .seeds((0..config.replicates.max(1) as u64).map(|i| config.seed.wrapping_add(i)))
+}
+
+/// Executes the Table II grid and returns the raw per-cell sweep report
+/// (grid-ordered; byte-identical for any [`Table2Config::threads`]).
+pub fn report(config: &Table2Config) -> SweepReport {
+    ParallelSweeper::new(config.threads.max(1)).run(&sweep_grid(config))
+}
+
+/// Pools one schedule's replicate rows out of a report into a
+/// [`Table2Row`] (all replicates run equal round counts, so the mean of
+/// rates is the pooled rate).
+fn pool(report: &SweepReport, schedule: &SchedulePolicy) -> Table2Row {
+    let name = schedule.name();
+    let (mut above, mut below, mut cells) = (0.0, 0.0, 0u32);
+    for row in report.rows() {
+        if row.schedule != name {
+            continue;
+        }
+        let sup = row
+            .summary
+            .supervisor
+            .as_ref()
+            .expect("table2 cells are closed-loop");
+        above += sup.above_rate;
+        below += sup.below_rate;
+        cells += 1;
     }
+    assert!(cells > 0, "no cells for schedule {name}");
     Table2Row {
-        schedule: policy.name().to_string(),
-        above: shark.supervisor().upper_rate(),
-        below: shark.supervisor().lower_rate(),
+        schedule: name.to_string(),
+        above: above / f64::from(cells),
+        below: below / f64::from(cells),
     }
+}
+
+/// Runs one schedule for [`Table2Config::rounds`] control periods per
+/// replicate and returns its pooled violation rates.
+///
+/// Executes a single-schedule grid, so only this schedule's cells run —
+/// its replicate seed streams therefore differ from the corresponding
+/// [`run_all`] rows (cell indices feed the per-cell seed derivation),
+/// though both reproduce the paper's rates.
+pub fn run_schedule(policy: SchedulePolicy, config: &Table2Config) -> Table2Row {
+    let report =
+        ParallelSweeper::new(config.threads.max(1)).run(&grid_over(config, [policy.clone()]));
+    pool(&report, &policy)
 }
 
 /// Runs the three schedules the paper compares (Ascending, Descending,
-/// Random) and returns their rows in that order.
+/// Random) through the sweep grid and returns their pooled rows in that
+/// order.
 pub fn run_all(config: &Table2Config) -> Vec<Table2Row> {
-    vec![
-        run_schedule(SchedulePolicy::Ascending, config),
-        run_schedule(SchedulePolicy::Descending, config),
-        run_schedule(SchedulePolicy::Random, config),
-    ]
-}
-
-fn hash_name(name: &str) -> u64 {
-    // Tiny FNV-1a so each schedule gets a distinct deterministic stream.
-    let mut h: u64 = 0xcbf29ce484222325;
-    for b in name.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
+    let report = report(config);
+    SCHEDULES.iter().map(|s| pool(&report, s)).collect()
 }
 
 #[cfg(test)]
@@ -136,13 +193,11 @@ mod tests {
     #[test]
     fn random_sits_between_ascending_and_descending() {
         let config = quick();
-        let asc = run_schedule(SchedulePolicy::Ascending, &config);
-        let desc = run_schedule(SchedulePolicy::Descending, &config);
-        let rand = run_schedule(SchedulePolicy::Random, &config);
+        let rows = run_all(&config);
         let total = |r: &Table2Row| r.above + r.below;
-        assert!(total(&asc) <= total(&rand));
-        assert!(total(&rand) <= total(&desc));
-        assert!(total(&rand) > 0.0, "random must show some violations");
+        assert!(total(&rows[0]) <= total(&rows[2]));
+        assert!(total(&rows[2]) <= total(&rows[1]));
+        assert!(total(&rows[2]) > 0.0, "random must show some violations");
     }
 
     #[test]
@@ -150,5 +205,38 @@ mod tests {
         let rows = run_all(&quick());
         let names: Vec<&str> = rows.iter().map(|r| r.schedule.as_str()).collect();
         assert_eq!(names, vec!["ascending", "descending", "random"]);
+    }
+
+    #[test]
+    fn rows_are_byte_identical_across_thread_counts() {
+        // Same config ⇒ identical rows whatever the worker count: the
+        // grid's per-cell seed derivation owns all randomness.
+        let serial = run_all(&Table2Config {
+            rounds: 400,
+            replicates: 2,
+            threads: 1,
+            ..Table2Config::default()
+        });
+        let parallel = run_all(&Table2Config {
+            rounds: 400,
+            replicates: 2,
+            threads: 4,
+            ..Table2Config::default()
+        });
+        assert_eq!(serial, parallel);
+        assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+    }
+
+    #[test]
+    fn replicates_widen_the_seed_axis() {
+        let grid = sweep_grid(&Table2Config {
+            replicates: 4,
+            ..Table2Config::default()
+        });
+        assert_eq!(grid.len(), 12, "3 schedules x 4 replicates");
+        // Every cell is reproducible in isolation.
+        let cell = grid.scenario(5);
+        assert!(cell.closed_loop.is_some());
+        assert_eq!(grid.scenario(5), cell);
     }
 }

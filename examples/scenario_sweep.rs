@@ -1,11 +1,15 @@
 //! The sweep subsystem in one example: a scenario grid — four fusion
 //! algorithms × three detectors × two schedules, every combination a
 //! lazily-materialised `Scenario` — sharded across scoped worker
-//! threads, with the parallel report byte-identical to the serial run.
+//! threads, with the parallel report byte-identical to the serial run;
+//! then the same machinery driving Table II's **closed-loop** cells (a
+//! LandShark inside its control loop, any sensor attackable).
 //!
 //! Run with: `cargo run --release --example scenario_sweep`
 
-use arsf::core::scenario::{AttackerSpec, FuserSpec, Scenario, StrategySpec, SuiteSpec};
+use arsf::core::scenario::{
+    AttackerSpec, ClosedLoopSpec, FuserSpec, Scenario, StrategySpec, SuiteSpec,
+};
 use arsf::core::sweep::{ParallelSweeper, SweepGrid};
 use arsf::core::DetectionMode;
 use arsf::schedule::SchedulePolicy;
@@ -87,4 +91,38 @@ fn main() {
     println!("the attacked fusion; the probabilistic baseline loses the");
     println!("truth in a large share of rounds - the paper's core contrast.");
     println!("(Parallel report verified byte-identical to the serial run.)");
+
+    // Closed-loop cells through the same grid: Table II's three
+    // schedules, one uniformly-random compromised sensor per round, the
+    // vehicle's supervisor preempting on envelope escapes.
+    let closed = SweepGrid::new(
+        Scenario::new("table2", SuiteSpec::Landshark)
+            .with_attacker(AttackerSpec::RandomEachRound)
+            .with_rounds(2000)
+            .with_closed_loop(ClosedLoopSpec::new(10.0)),
+    )
+    .schedules([
+        SchedulePolicy::Ascending,
+        SchedulePolicy::Descending,
+        SchedulePolicy::Random,
+    ]);
+    println!("\nClosed-loop sweep (Table II): LandShark @ 10 mph, envelope");
+    println!("[9.5, 10.5] mph, one random compromised sensor per round\n");
+    println!(
+        "{:<5} {:<11} {:>9} {:>9} {:>10}",
+        "cell", "schedule", "above", "below", "preempts"
+    );
+    for row in sweeper.run(&closed).rows() {
+        let sup = row.summary.supervisor.as_ref().expect("closed-loop row");
+        println!(
+            "{:<5} {:<11} {:>8.2}% {:>8.2}% {:>10}",
+            row.cell,
+            row.schedule,
+            sup.above_rate * 100.0,
+            sup.below_rate * 100.0,
+            sup.preemptions
+        );
+    }
+    println!("\nAscending stays violation-free; Descending is worst; Random");
+    println!("sits between - Table II's ordering, now one grid away.");
 }

@@ -82,8 +82,10 @@ pub use arsf_sim as sim;
 pub mod prelude {
     pub use arsf_attack::strategies::{GreedyExtreme, PhantomOptimal, Side};
     pub use arsf_attack::{AttackMode, AttackStrategy, AttackerConfig, Truthful};
+    pub use arsf_core::metrics::SupervisorSummary;
     pub use arsf_core::scenario::{
-        AttackerSpec, FuserSpec, Scenario, StrategySpec, SuiteSpec, TruthSpec,
+        AttackerSpec, ClosedLoopSpec, FuserSpec, PlatoonSpec, Scenario, StrategySpec, SuiteSpec,
+        TruthSpec,
     };
     pub use arsf_core::{
         BatchSummary, DetectionMode, FusionPipeline, PipelineConfig, RoundOutcome, ScenarioRunner,
