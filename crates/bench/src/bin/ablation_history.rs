@@ -10,16 +10,17 @@
 //! Run with: `cargo run --release -p arsf-bench --bin ablation_history`
 
 use arsf_bench::TextTable;
+use arsf_core::scenario::AttackerSpec;
 use arsf_fusion::historical::DynamicsBound;
 use arsf_schedule::SchedulePolicy;
-use arsf_sim::landshark::{AttackSelection, LandShark, LandSharkConfig};
+use arsf_sim::landshark::{LandShark, LandSharkConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn violation_rates(bound: Option<DynamicsBound>, rounds: u64) -> (f64, f64, f64) {
     let mut rng = StdRng::seed_from_u64(0xAB1A);
     let mut config = LandSharkConfig::new(10.0, SchedulePolicy::Descending)
-        .with_attack(AttackSelection::RandomEachRound);
+        .with_attacker(AttackerSpec::RandomEachRound);
     if let Some(b) = bound {
         config = config.with_history(b);
     }

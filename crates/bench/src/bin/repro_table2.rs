@@ -13,7 +13,9 @@
 //!
 //! Options: `--rounds <n>` (default 20000), `--seed <s>`,
 //! `--replicates <k>` (default 1), `--threads <t>` (default: available
-//! parallelism).
+//! parallelism), `--history <max_rate>` (run the dynamics-aware
+//! historical-fusion defence at this rate bound instead of the paper's
+//! memoryless Marzullo).
 
 use arsf_bench::{arg_value, TextTable};
 use arsf_sim::table2::{run_all, Table2Config};
@@ -35,8 +37,30 @@ fn main() {
     if let Some(threads) = arg_value("--threads").and_then(|s| s.parse().ok()) {
         config.threads = threads;
     }
+    if let Some(spec) = arg_value("--history") {
+        // Unlike the other numeric flags, a swallowed parse error here
+        // would silently run the *undefended* table (and scenario_sweep's
+        // --history takes a comma list, an easy syntax to carry over) —
+        // so an invalid value fails loudly.
+        match spec
+            .parse::<f64>()
+            .ok()
+            .filter(|r| r.is_finite() && *r > 0.0)
+        {
+            Some(rate) => config.history = Some(rate),
+            None => {
+                eprintln!(
+                    "repro_table2: --history wants one positive rate bound in mph/s, got `{spec}`"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
 
     println!("Table II: case study results for each of the three schedules");
+    if let Some(rate) = config.history {
+        println!("(historical-fusion defence, |dv/dt| <= {rate} mph/s)");
+    }
     println!(
         "(v = {} mph, envelope [{}, {}] mph, {} rounds per schedule,",
         config.target,

@@ -19,10 +19,22 @@
 //!   `windowed:window:tolerance`)
 //! * `--schedules a,b,…` — schedule axis (`ascending`, `descending`,
 //!   `random`)
+//! * `--history r1,r2,…` — sweep the Historical defence's `max_rate`
+//!   bound: appends `historical:r:0.1` entries to the fuser axis
 //! * `--seeds 1,2,…` — seed axis (replicates; per-cell seeds derived)
 //! * `--suite landshark | widths:5,11,17` — sensor suite (grid mode)
+//! * `--fault sensor:kind[:param]:prob` — inject one fault into every
+//!   cell's base scenario (e.g. `2:bias:3:0.25`, `3:silent:0.5`); works
+//!   open- and closed-loop
+//! * `--strategy name` — run a fixed attacker on sensor 0 with this
+//!   strategy (`phantom-optimal`, `greedy-high`, `greedy-low`,
+//!   `truthful`) instead of the mode's default attacker
 //! * `--honest` — drop the grid base scenario's attacker (switches to
 //!   grid mode like the axis flags)
+//! * `--cells a..b` — run only the grid cells in the half-open range
+//!   `a..b` (grid order); rows keep their grid indices and derived
+//!   seeds, so shards from different processes concatenate into the
+//!   full report
 //! * `--closed-loop` — drive each cell through the LandShark vehicle
 //!   control loop (Table II style: one uniformly-random compromised
 //!   sensor per round unless `--honest`); adds the supervisor columns
@@ -40,12 +52,12 @@
 use std::process::exit;
 
 use arsf_bench::cli::{
-    parse_deltas, parse_detectors, parse_fusers, parse_platoon, parse_schedules, parse_suite,
-    parse_u64_list,
+    parse_cells, parse_deltas, parse_detectors, parse_f64_list, parse_fault, parse_fusers,
+    parse_platoon, parse_schedules, parse_strategy, parse_suite, parse_u64_list,
 };
 use arsf_bench::{arg_value, has_flag, TextTable};
 use arsf_core::scenario::{
-    registry, AttackerSpec, ClosedLoopSpec, Scenario, StrategySpec, SuiteSpec,
+    registry, AttackerSpec, ClosedLoopSpec, FuserSpec, Scenario, StrategySpec, SuiteSpec,
 };
 use arsf_core::sweep::{ParallelSweeper, SweepGrid, SweepReport};
 
@@ -78,8 +90,12 @@ fn main() {
         "--fusers",
         "--detectors",
         "--schedules",
+        "--history",
         "--seeds",
         "--suite",
+        "--fault",
+        "--strategy",
+        "--cells",
     ]
     .iter()
     .any(|flag| arg_value(flag).is_some())
@@ -99,8 +115,18 @@ fn main() {
                 strategy: StrategySpec::PhantomOptimal,
             })
         };
+        if let Some(spec) = arg_value("--strategy") {
+            base = base.with_attacker(AttackerSpec::Fixed {
+                sensors: vec![0],
+                strategy: parsed(parse_strategy(&spec)),
+            });
+        }
         if has_flag("--honest") {
             base = base.with_attacker(AttackerSpec::None);
+        }
+        if let Some(spec) = arg_value("--fault") {
+            let (sensor, fault) = parsed(parse_fault(&spec));
+            base = base.with_fault(sensor, fault);
         }
         if closed_loop {
             let target = arg_value("--target").map_or(10.0, |s| {
@@ -123,9 +149,26 @@ fn main() {
         if let Some(rounds) = rounds_override {
             base = base.with_rounds(rounds);
         }
+        // Reject impossible combinations (out-of-range fault sensor,
+        // degenerate platoon, …) as a CLI error instead of letting
+        // ScenarioRunner panic inside a sweep worker. Only the CLI's
+        // base-scenario flags affect validity — the axis flags vary
+        // fusers/detectors/schedules/seeds, which are always valid.
+        if let Err(e) = base.validate() {
+            fail(&format!("invalid scenario: {e}"));
+        }
         let mut grid = SweepGrid::new(base);
-        if let Some(spec) = arg_value("--fusers") {
-            grid = grid.fusers(parsed(parse_fusers(&spec)));
+        // --fusers and --history feed one axis: explicit fusers first,
+        // then one historical entry per swept rate bound.
+        let mut fusers = arg_value("--fusers").map(|spec| parsed(parse_fusers(&spec)));
+        if let Some(spec) = arg_value("--history") {
+            let historical = parsed(parse_f64_list(&spec))
+                .into_iter()
+                .map(|max_rate| FuserSpec::Historical { max_rate, dt: 0.1 });
+            fusers.get_or_insert_with(Vec::new).extend(historical);
+        }
+        if let Some(fusers) = fusers {
+            grid = grid.fusers(fusers);
         }
         if let Some(spec) = arg_value("--detectors") {
             grid = grid.detectors(parsed(parse_detectors(&spec)));
@@ -136,12 +179,35 @@ fn main() {
         if let Some(spec) = arg_value("--seeds") {
             grid = grid.seeds(parsed(parse_u64_list(&spec)));
         }
-        println!(
-            "Grid sweep: {} cells on {} worker thread(s)\n",
-            grid.len(),
-            sweeper.threads()
-        );
-        sweeper.run(&grid)
+        match arg_value("--cells") {
+            Some(spec) => {
+                let cells = parsed(parse_cells(&spec));
+                if cells.end > grid.len() {
+                    fail(&format!(
+                        "--cells {}..{} exceeds the {}-cell grid",
+                        cells.start,
+                        cells.end,
+                        grid.len()
+                    ));
+                }
+                println!(
+                    "Grid sweep: cells {}..{} of {} on {} worker thread(s)\n",
+                    cells.start,
+                    cells.end,
+                    grid.len(),
+                    sweeper.threads()
+                );
+                sweeper.run_range(&grid, cells)
+            }
+            None => {
+                println!(
+                    "Grid sweep: {} cells on {} worker thread(s)\n",
+                    grid.len(),
+                    sweeper.threads()
+                );
+                sweeper.run(&grid)
+            }
+        }
     } else {
         let mut presets = registry();
         if let Some(rounds) = rounds_override {
@@ -184,6 +250,7 @@ fn print_table(report: &SweepReport) {
         "flag rounds".into(),
         "condemned".into(),
     ];
+    let platoon = report.rows().iter().any(|r| !r.summary.vehicles.is_empty());
     if closed_loop {
         header.extend([
             "above".into(),
@@ -191,6 +258,9 @@ fn print_table(report: &SweepReport) {
             "preempts".into(),
             "min gap".into(),
         ]);
+    }
+    if platoon {
+        header.push("veh widths".into());
     }
     let mut table = TextTable::new(header);
     for row in report.rows() {
@@ -218,6 +288,14 @@ fn print_table(report: &SweepReport) {
                 ]),
                 None => cells.extend([String::new(), String::new(), String::new(), String::new()]),
             }
+        }
+        if platoon {
+            let means: Vec<String> = s
+                .vehicles
+                .iter()
+                .map(|v| format!("{:.3}", v.widths.mean()))
+                .collect();
+            cells.push(means.join("|"));
         }
         table.row(cells);
     }

@@ -6,9 +6,11 @@
 //! offending token — never `Ok(vec![])`, which would trip the grid's
 //! non-empty-axis assertion downstream.
 
-use arsf_core::scenario::{FuserSpec, SuiteSpec};
+use arsf_core::scenario::{FuserSpec, StrategySpec, SuiteSpec};
 use arsf_core::DetectionMode;
 use arsf_schedule::SchedulePolicy;
+use arsf_sensor::{FaultKind, FaultModel};
+use std::ops::Range;
 
 fn non_empty<T>(axis: &str, values: Vec<T>) -> Result<Vec<T>, String> {
     if values.is_empty() {
@@ -126,6 +128,115 @@ pub fn parse_u64_list(spec: &str) -> Result<Vec<u64>, String> {
         .map(|token| token.parse().map_err(|_| format!("bad integer `{token}`")))
         .collect::<Result<Vec<_>, String>>()
         .and_then(|v| non_empty("integer", v))
+}
+
+/// Parses a positive-float list, e.g. a `--history` rate axis
+/// `2.5,3.5,5`.
+///
+/// # Errors
+///
+/// Returns a message naming the first token that is not a positive
+/// finite number.
+pub fn parse_f64_list(spec: &str) -> Result<Vec<f64>, String> {
+    spec.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(|token| {
+            token
+                .parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite() && *v > 0.0)
+                .ok_or_else(|| format!("bad positive number `{token}`"))
+        })
+        .collect::<Result<Vec<_>, String>>()
+        .and_then(|v| non_empty("number", v))
+}
+
+/// Parses a half-open cell range `a..b` (grid-order indices, `a < b`),
+/// the `--cells` shard one process takes of a larger sweep.
+///
+/// # Errors
+///
+/// Returns a message when the separator is missing, an endpoint is not
+/// an integer, or the range is empty.
+pub fn parse_cells(spec: &str) -> Result<Range<usize>, String> {
+    let (start, end) = spec
+        .split_once("..")
+        .ok_or_else(|| format!("expected a half-open range `a..b`, got `{spec}`"))?;
+    let parse_one = |token: &str| {
+        token
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| format!("bad cell index `{}`", token.trim()))
+    };
+    let (start, end) = (parse_one(start)?, parse_one(end)?);
+    if start >= end {
+        return Err(format!("cell range {start}..{end} is empty"));
+    }
+    Ok(start..end)
+}
+
+/// Parses one fault injection `sensor:kind[:param]:probability`, e.g.
+/// `2:bias:3:0.25`, `0:stuck:12:1`, `1:scale:1.5:0.4` or `3:silent:0.5`.
+///
+/// # Errors
+///
+/// Returns a message naming the malformed component.
+pub fn parse_fault(spec: &str) -> Result<(usize, FaultModel), String> {
+    let parts: Vec<&str> = spec.split(':').map(str::trim).collect();
+    let bad = || format!("expected sensor:kind[:param]:probability, got `{spec}`");
+    if parts.len() < 3 {
+        return Err(bad());
+    }
+    let sensor: usize = parts[0]
+        .parse()
+        .map_err(|_| format!("bad sensor index `{}`", parts[0]))?;
+    let probability: f64 = parts[parts.len() - 1]
+        .parse()
+        .ok()
+        .filter(|p| (0.0..=1.0).contains(p))
+        .ok_or_else(|| format!("bad probability `{}`", parts[parts.len() - 1]))?;
+    let param = |what: &str| -> Result<f64, String> {
+        if parts.len() != 4 {
+            return Err(bad());
+        }
+        parts[2]
+            .parse()
+            .ok()
+            .filter(|v: &f64| v.is_finite())
+            .ok_or_else(|| format!("bad {what} `{}`", parts[2]))
+    };
+    let kind = match parts[1] {
+        "silent" if parts.len() == 3 => FaultKind::Silent,
+        "silent" => return Err(bad()),
+        "bias" => FaultKind::Bias {
+            offset: param("offset")?,
+        },
+        "stuck" => FaultKind::StuckAt {
+            value: param("value")?,
+        },
+        "scale" => FaultKind::Scale {
+            factor: param("factor")?,
+        },
+        other => return Err(format!("unknown fault kind `{other}`")),
+    };
+    Ok((sensor, FaultModel::new(kind, probability)))
+}
+
+/// Parses an attack strategy name (`phantom-optimal`, `greedy-high`,
+/// `greedy-low`, `truthful`).
+///
+/// # Errors
+///
+/// Returns a message naming the unrecognised strategy.
+pub fn parse_strategy(spec: &str) -> Result<StrategySpec, String> {
+    match spec.trim() {
+        "phantom-optimal" => Ok(StrategySpec::PhantomOptimal),
+        "greedy-high" => Ok(StrategySpec::GreedyHigh),
+        "greedy-low" => Ok(StrategySpec::GreedyLow),
+        "truthful" => Ok(StrategySpec::Truthful),
+        other => Err(format!("unknown strategy `{other}`")),
+    }
 }
 
 /// Parses a suite, either `landshark` or `widths:5,11,17`.
@@ -307,6 +418,64 @@ mod tests {
         assert!(parse_platoon("0").is_err());
         assert!(parse_platoon("3:0").is_err());
         assert!(parse_platoon("x").is_err());
+    }
+
+    #[test]
+    fn f64_list_rejects_non_positive_entries() {
+        assert_eq!(parse_f64_list("2.5, 3.5,5").unwrap(), vec![2.5, 3.5, 5.0]);
+        assert!(parse_f64_list("-1").is_err());
+        assert!(parse_f64_list("0").is_err());
+        assert!(parse_f64_list("x").is_err());
+        assert!(parse_f64_list(",").unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn cell_ranges_parse_half_open() {
+        assert_eq!(parse_cells("0..12").unwrap(), 0..12);
+        assert_eq!(parse_cells(" 4 .. 9 ").unwrap(), 4..9);
+        assert!(parse_cells("5..5").unwrap_err().contains("empty"));
+        assert!(parse_cells("9..4").is_err());
+        assert!(parse_cells("7").is_err());
+        assert!(parse_cells("a..b").is_err());
+    }
+
+    #[test]
+    fn faults_parse_every_kind() {
+        let (sensor, fault) = parse_fault("2:bias:3:0.25").unwrap();
+        assert_eq!(sensor, 2);
+        assert_eq!(fault.kind(), FaultKind::Bias { offset: 3.0 });
+        assert_eq!(fault.probability(), 0.25);
+        let (_, stuck) = parse_fault("0:stuck:12:1").unwrap();
+        assert_eq!(stuck.kind(), FaultKind::StuckAt { value: 12.0 });
+        let (_, scale) = parse_fault("1:scale:1.5:0.4").unwrap();
+        assert_eq!(scale.kind(), FaultKind::Scale { factor: 1.5 });
+        let (sensor, silent) = parse_fault("3:silent:0.5").unwrap();
+        assert_eq!(sensor, 3);
+        assert_eq!(silent.kind(), FaultKind::Silent);
+        assert_eq!(silent.probability(), 0.5);
+        assert!(parse_fault("3:silent:0.5:1").is_err());
+        assert!(parse_fault("2:bias:0.25").is_err(), "bias needs its offset");
+        assert!(parse_fault("2:flicker:1").is_err());
+        assert!(parse_fault("2:bias:3:1.5").is_err(), "probability > 1");
+        assert!(parse_fault("x:bias:3:0.5").is_err());
+    }
+
+    #[test]
+    fn strategies_parse_all_names() {
+        assert_eq!(
+            parse_strategy("phantom-optimal").unwrap(),
+            StrategySpec::PhantomOptimal
+        );
+        assert_eq!(
+            parse_strategy("greedy-high").unwrap(),
+            StrategySpec::GreedyHigh
+        );
+        assert_eq!(
+            parse_strategy("greedy-low").unwrap(),
+            StrategySpec::GreedyLow
+        );
+        assert_eq!(parse_strategy("truthful").unwrap(), StrategySpec::Truthful);
+        assert!(parse_strategy("sneaky").unwrap_err().contains("sneaky"));
     }
 
     #[test]

@@ -2,39 +2,31 @@
 //! suite, fusion pipeline, PI speed controller and safety supervisor.
 //!
 //! The vehicle owns **one persistent** [`FusionPipeline`] over a boxed
-//! [`Fuser`]: plain Marzullo by default, or the dynamics-aware
-//! [`HistoricalFuser`] when [`LandSharkConfig::history`] is set — the
-//! follow-up defence runs *through* the engine rather than as a bolt-on
-//! refinement, so detection also sees the refined interval. Per-round
-//! attacker changes (the case study's "any sensor can be attacked") go
-//! through [`FusionPipeline::set_attacker`] instead of rebuilding the
+//! [`Fuser`](arsf_fusion::Fuser) built from the configured
+//! [`FuserSpec`] — plain Marzullo by default, the dynamics-aware
+//! historical defence, or any other stock fuser — so defences run
+//! *through* the engine rather than as bolt-on refinements and detection
+//! sees the same interval the supervisor does. Faults and attackers use
+//! the **identical machinery** as the open-loop pipeline: fault models
+//! attach to the suite before the run, the attacker is a declarative
+//! [`AttackerSpec`] (any strategy), and per-round attacker changes (the
+//! case study's "any sensor can be attacked") go through
+//! [`FusionPipeline::set_attacker_config`] instead of rebuilding the
 //! engine.
 
 use crate::{DetectionMode, FusionPipeline, PipelineConfig, RoundOutcome};
-use arsf_attack::strategies::PhantomOptimal;
 use arsf_attack::AttackerConfig;
 use arsf_fusion::historical::{DynamicsBound, HistoricalFuser};
-use arsf_fusion::{Fuser, MarzulloFuser};
+use arsf_fusion::Fuser;
 use arsf_interval::Interval;
 use arsf_schedule::SchedulePolicy;
+use arsf_sensor::FaultModel;
 use rand::Rng;
 
 use crate::closed_loop::controller::PiController;
 use crate::closed_loop::supervisor::{Supervisor, SupervisorAction};
 use crate::closed_loop::vehicle::{Vehicle, VehicleParams};
-
-/// Which sensors the attacker controls during a simulation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[non_exhaustive]
-pub enum AttackSelection {
-    /// No attacker (honest baseline).
-    None,
-    /// A fixed compromised set for the whole run.
-    Fixed(Vec<usize>),
-    /// One compromised sensor re-drawn uniformly every round — the case
-    /// study's "any sensor can be attacked" assumption.
-    RandomEachRound,
-}
+use crate::scenario::{apply_faults, AttackerSpec, FuserSpec};
 
 /// Configuration of a single LandShark.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,22 +43,29 @@ pub struct LandSharkConfig {
     pub f: usize,
     /// Control period in seconds.
     pub dt: f64,
-    /// Attacker model.
-    pub attack: AttackSelection,
+    /// Fault models attached to the vehicle's sensors before the run, as
+    /// `(sensor index, fault)` pairs — the same wiring the open-loop
+    /// pipeline uses.
+    pub faults: Vec<(usize, FaultModel)>,
+    /// Attacker model — any [`AttackerSpec`], with any strategy.
+    pub attacker: AttackerSpec,
     /// The detector the fusion engine runs on fused rounds.
     pub detection: DetectionMode,
     /// Vehicle parameters.
     pub vehicle: VehicleParams,
-    /// Optional dynamics-aware historical fusion (the follow-up defence):
-    /// the engine fuses with [`HistoricalFuser`] under this rate bound,
-    /// so the supervisor and the detector both see the interval refined
-    /// by the previous round's propagated evidence.
-    pub history: Option<DynamicsBound>,
+    /// The fusion algorithm the engine runs (Marzullo by default;
+    /// [`FuserSpec::Historical`] is the dynamics-aware follow-up defence,
+    /// refining each round with the previous round's propagated
+    /// evidence). A historical spec's own `dt` is ignored here: the
+    /// vehicle always propagates history at the control period
+    /// [`LandSharkConfig::dt`], so the two can never silently diverge.
+    pub fuser: FuserSpec,
 }
 
 impl LandSharkConfig {
     /// The case study's configuration: `v` mph target, `δ1 = δ2 = 0.5`,
-    /// `f = 1`, 100 ms control period, no attacker.
+    /// `f = 1`, 100 ms control period, Marzullo fusion, no faults, no
+    /// attacker.
     pub fn new(target_speed: f64, schedule: SchedulePolicy) -> Self {
         Self {
             target_speed,
@@ -75,17 +74,25 @@ impl LandSharkConfig {
             schedule,
             f: 1,
             dt: 0.1,
-            attack: AttackSelection::None,
+            faults: Vec::new(),
+            attacker: AttackerSpec::None,
             detection: DetectionMode::Immediate,
             vehicle: VehicleParams::default(),
-            history: None,
+            fuser: FuserSpec::Marzullo,
         }
     }
 
     /// Sets the attacker model (builder style).
     #[must_use]
-    pub fn with_attack(mut self, attack: AttackSelection) -> Self {
-        self.attack = attack;
+    pub fn with_attacker(mut self, attacker: AttackerSpec) -> Self {
+        self.attacker = attacker;
+        self
+    }
+
+    /// Attaches a fault model to a sensor (builder style).
+    #[must_use]
+    pub fn with_fault(mut self, sensor: usize, fault: FaultModel) -> Self {
+        self.faults.push((sensor, fault));
         self
     }
 
@@ -96,11 +103,22 @@ impl LandSharkConfig {
         self
     }
 
+    /// Sets the fusion algorithm (builder style).
+    #[must_use]
+    pub fn with_fuser(mut self, fuser: FuserSpec) -> Self {
+        self.fuser = fuser;
+        self
+    }
+
     /// Enables dynamics-aware historical fusion with the given rate bound
-    /// (builder style).
+    /// at the current control period (builder-style sugar for
+    /// [`LandSharkConfig::with_fuser`] with [`FuserSpec::Historical`]).
     #[must_use]
     pub fn with_history(mut self, bound: DynamicsBound) -> Self {
-        self.history = Some(bound);
+        self.fuser = FuserSpec::Historical {
+            max_rate: bound.max_rate(),
+            dt: self.dt,
+        };
         self
     }
 }
@@ -130,7 +148,7 @@ pub struct LandShark {
     pi: PiController,
     supervisor: Supervisor,
     outcome: RoundOutcome,
-    /// `AttackSelection::Fixed`'s set, normalised (sorted, deduped) once
+    /// `AttackerSpec::Fixed`'s set, normalised (sorted, deduped) once
     /// at construction so per-round records are a plain copy.
     fixed_attacked: Vec<usize>,
 }
@@ -138,36 +156,48 @@ pub struct LandShark {
 impl LandShark {
     /// Creates a LandShark already cruising at the target speed (the
     /// platoon scenario starts mid-mission).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault or compromised-sensor index is out of range for
+    /// the LandShark suite (validate the scenario with
+    /// [`Scenario::validate`](crate::Scenario::validate) first for a
+    /// typed error).
     pub fn new(config: LandSharkConfig) -> Self {
         let vehicle = Vehicle::with_speed(config.vehicle, config.target_speed);
         let pi = PiController::new(3.0, 0.8, config.vehicle.max_accel, config.vehicle.max_brake);
         let supervisor = Supervisor::new(config.target_speed, config.delta_up, config.delta_down);
-        let fuser: Box<dyn Fuser<f64>> = match config.history {
-            Some(bound) => Box::new(HistoricalFuser::new(config.f, bound, config.dt)),
-            None => Box::new(MarzulloFuser::new(config.f)),
+        let mut suite = arsf_sensor::suite::landshark();
+        apply_faults(&mut suite, &config.faults);
+        // Historical fusion must propagate at the loop's actual control
+        // period — config.dt wins over the spec's own dt, so a fuser
+        // configured for a different period cannot silently shrink or
+        // inflate the dynamics envelope.
+        let fuser: Box<dyn Fuser<f64>> = match config.fuser {
+            FuserSpec::Historical { max_rate, .. } => Box::new(HistoricalFuser::new(
+                config.f,
+                DynamicsBound::new(max_rate),
+                config.dt,
+            )),
+            ref other => other.build(config.f),
         };
-        let mut pipeline = FusionPipeline::builder(arsf_sensor::suite::landshark())
+        let mut pipeline = FusionPipeline::builder(suite)
             .config(
                 PipelineConfig::new(config.f, config.schedule.clone())
                     .with_detection(config.detection),
             )
             .fuser(fuser)
             .build();
+        // Attacker wiring is the pipeline's own: RandomEachRound installs
+        // a persistent strategy whose per-round compromised sensor is
+        // drawn inside step(), so the hot loop only swaps the attacker
+        // *config*.
         let mut fixed_attacked = Vec::new();
-        match &config.attack {
-            AttackSelection::None => {}
-            AttackSelection::Fixed(set) => {
-                let attacker = AttackerConfig::new(set.iter().copied(), config.f);
+        if let Some((attacker, strategy)) = config.attacker.build(config.f) {
+            if matches!(config.attacker, AttackerSpec::Fixed { .. }) {
                 fixed_attacked = attacker.compromised().to_vec();
-                pipeline.set_attacker(Some((attacker, Box::new(PhantomOptimal::new()))));
             }
-            // The per-round compromised sensor is drawn inside step();
-            // the strategy itself is installed once and persists, so the
-            // hot loop only swaps the attacker *config*.
-            AttackSelection::RandomEachRound => pipeline.set_attacker(Some((
-                AttackerConfig::new([], config.f),
-                Box::new(PhantomOptimal::new()),
-            ))),
+            pipeline.set_attacker(Some((attacker, strategy)));
         }
         Self {
             config,
@@ -230,10 +260,10 @@ impl LandShark {
         outcome: &mut RoundOutcome,
     ) -> StepRecord {
         let truth = self.vehicle.speed();
-        let attacked: Vec<usize> = match &self.config.attack {
-            AttackSelection::None => Vec::new(),
-            AttackSelection::Fixed(_) => self.fixed_attacked.clone(),
-            AttackSelection::RandomEachRound => {
+        let attacked: Vec<usize> = match &self.config.attacker {
+            AttackerSpec::None => Vec::new(),
+            AttackerSpec::Fixed { .. } => self.fixed_attacked.clone(),
+            AttackerSpec::RandomEachRound => {
                 let sensor = rng.gen_range(0..self.pipeline.suite().len());
                 // Swap only the compromised set: the boxed strategy
                 // persists, so the hot loop performs no re-boxing.
@@ -282,6 +312,8 @@ impl LandShark {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::StrategySpec;
+    use arsf_sensor::FaultKind;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -289,14 +321,20 @@ mod tests {
         StdRng::seed_from_u64(77)
     }
 
+    fn fixed_phantom(sensors: Vec<usize>) -> AttackerSpec {
+        AttackerSpec::Fixed {
+            sensors,
+            strategy: StrategySpec::PhantomOptimal,
+        }
+    }
+
     #[test]
     fn fixed_multi_sensor_attack_reports_the_full_set() {
         // Regression: StepRecord used to report only set.first() for
-        // AttackSelection::Fixed, silently misreporting multi-sensor
-        // attacks.
+        // fixed attackers, silently misreporting multi-sensor attacks.
         let mut rng = rng();
         let config = LandSharkConfig::new(10.0, SchedulePolicy::Ascending)
-            .with_attack(AttackSelection::Fixed(vec![2, 0]));
+            .with_attacker(fixed_phantom(vec![2, 0]));
         let mut shark = LandShark::new(config);
         let rec = shark.step(&mut rng);
         assert_eq!(rec.attacked, vec![0, 2], "full sorted compromised set");
@@ -307,7 +345,7 @@ mod tests {
         let build = || {
             LandShark::new(
                 LandSharkConfig::new(10.0, SchedulePolicy::Descending)
-                    .with_attack(AttackSelection::RandomEachRound),
+                    .with_attacker(AttackerSpec::RandomEachRound),
             )
         };
         let mut rng_a = rng();
@@ -364,7 +402,7 @@ mod tests {
         // transmits first and a single attacker gains nothing.
         let mut rng = rng();
         let config = LandSharkConfig::new(10.0, SchedulePolicy::Ascending)
-            .with_attack(AttackSelection::Fixed(vec![0]));
+            .with_attacker(fixed_phantom(vec![0]));
         let mut shark = LandShark::new(config);
         for _ in 0..300 {
             let rec = shark.step(&mut rng);
@@ -378,7 +416,7 @@ mod tests {
     fn descending_with_attacked_encoder_violates_sometimes() {
         let mut rng = rng();
         let config = LandSharkConfig::new(10.0, SchedulePolicy::Descending)
-            .with_attack(AttackSelection::Fixed(vec![0]));
+            .with_attacker(fixed_phantom(vec![0]));
         let mut shark = LandShark::new(config);
         for _ in 0..300 {
             shark.step(&mut rng);
@@ -394,7 +432,7 @@ mod tests {
     fn supervisor_preemption_reacts_to_violations() {
         let mut rng = rng();
         let config = LandSharkConfig::new(10.0, SchedulePolicy::Descending)
-            .with_attack(AttackSelection::Fixed(vec![0]));
+            .with_attacker(fixed_phantom(vec![0]));
         let mut shark = LandShark::new(config);
         let mut preempted = 0;
         for _ in 0..300 {
@@ -421,7 +459,7 @@ mod tests {
         let run = |history: Option<DynamicsBound>| {
             let mut rng = StdRng::seed_from_u64(51);
             let mut config = LandSharkConfig::new(10.0, SchedulePolicy::Descending)
-                .with_attack(AttackSelection::Fixed(vec![0]));
+                .with_attacker(fixed_phantom(vec![0]));
             if let Some(bound) = history {
                 config = config.with_history(bound);
             }
@@ -443,7 +481,7 @@ mod tests {
     fn historical_fusion_never_loses_the_truth() {
         let mut rng = rng();
         let config = LandSharkConfig::new(10.0, SchedulePolicy::Descending)
-            .with_attack(AttackSelection::RandomEachRound)
+            .with_attacker(AttackerSpec::RandomEachRound)
             .with_history(DynamicsBound::new(3.5));
         let mut shark = LandShark::new(config);
         for _ in 0..400 {
@@ -459,10 +497,114 @@ mod tests {
     }
 
     #[test]
+    fn faulted_vehicle_runs_through_the_engine() {
+        // Regression: fault injection used to be rejected closed-loop
+        // (`closed-loop scenarios do not support fault injection`); the
+        // vehicle now wires faults through the pipeline's own machinery.
+        let mut rng = rng();
+        let config = LandSharkConfig::new(10.0, SchedulePolicy::Ascending)
+            .with_fault(2, FaultModel::new(FaultKind::Bias { offset: 3.0 }, 0.3))
+            .with_fault(3, FaultModel::new(FaultKind::Silent, 0.5));
+        let mut shark = LandShark::new(config);
+        let mut flagged_rounds = 0;
+        for _ in 0..300 {
+            let rec = shark.step(&mut rng);
+            if !rec.flagged.is_empty() {
+                flagged_rounds += 1;
+            }
+        }
+        assert_eq!(shark.rounds(), 300);
+        assert!(
+            flagged_rounds > 0,
+            "the biased GPS must get flagged on some rounds"
+        );
+    }
+
+    #[test]
+    fn non_phantom_strategies_drive_the_vehicle() {
+        // Regression: every fixed strategy except PhantomOptimal used to
+        // be rejected closed-loop.
+        for strategy in [
+            StrategySpec::GreedyHigh,
+            StrategySpec::GreedyLow,
+            StrategySpec::Truthful,
+        ] {
+            let mut rng = rng();
+            let config = LandSharkConfig::new(10.0, SchedulePolicy::Descending).with_attacker(
+                AttackerSpec::Fixed {
+                    sensors: vec![0],
+                    strategy,
+                },
+            );
+            let mut shark = LandShark::new(config);
+            for _ in 0..200 {
+                shark.step(&mut rng);
+            }
+            assert_eq!(shark.rounds(), 200, "{} stalled", strategy.name());
+            assert!(
+                (shark.speed() - 10.0).abs() < 2.0,
+                "{}: speed {} diverged",
+                strategy.name(),
+                shark.speed()
+            );
+        }
+    }
+
+    #[test]
+    fn any_stock_fuser_drives_the_vehicle() {
+        // Regression: fusers other than Marzullo/Historical used to be
+        // rejected closed-loop.
+        for fuser in [
+            FuserSpec::BrooksIyengar,
+            FuserSpec::Intersection,
+            FuserSpec::Hull,
+            FuserSpec::InverseVariance,
+            FuserSpec::MidpointMedian,
+        ] {
+            let mut rng = rng();
+            let config = LandSharkConfig::new(10.0, SchedulePolicy::Ascending)
+                .with_fuser(fuser.clone())
+                .with_attacker(AttackerSpec::RandomEachRound);
+            let mut shark = LandShark::new(config);
+            for _ in 0..150 {
+                shark.step(&mut rng);
+            }
+            assert_eq!(shark.rounds(), 150, "{} stalled", fuser.name());
+            assert_eq!(shark.pipeline().fuser().name(), fuser.name());
+        }
+    }
+
+    #[test]
+    fn historical_fuser_always_propagates_at_the_control_period() {
+        // Regression: the vehicle must build its historical fuser from
+        // config.dt, not from the spec's own dt — otherwise a spec
+        // carrying a foreign period silently shrinks or inflates the
+        // dynamics envelope relative to the actual control loop.
+        let run = |fuser_dt: f64| {
+            let mut rng = rng();
+            let config = LandSharkConfig::new(10.0, SchedulePolicy::Descending)
+                .with_attacker(AttackerSpec::RandomEachRound)
+                .with_fuser(FuserSpec::Historical {
+                    max_rate: 3.5,
+                    dt: fuser_dt,
+                });
+            let mut shark = LandShark::new(config);
+            (0..100)
+                .map(|_| shark.step(&mut rng).fusion)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            run(0.1),
+            run(99.0),
+            "the spec's dt must be superseded by the control period"
+        );
+    }
+
+    #[test]
     fn random_attack_selection_varies_by_round() {
         let mut rng = rng();
         let config = LandSharkConfig::new(10.0, SchedulePolicy::Random)
-            .with_attack(AttackSelection::RandomEachRound);
+            .with_attacker(AttackerSpec::RandomEachRound);
         let mut shark = LandShark::new(config);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..100 {

@@ -9,6 +9,7 @@
 use rand::Rng;
 
 use crate::closed_loop::landshark::{LandShark, LandSharkConfig, StepRecord};
+use crate::metrics::VehicleSummary;
 use crate::RoundOutcome;
 
 /// A column of LandSharks sharing one speed target.
@@ -18,6 +19,7 @@ pub struct Platoon {
     start_offsets: Vec<f64>,
     min_gap: f64,
     initial_gap: f64,
+    stats: Vec<VehicleSummary>,
 }
 
 impl Platoon {
@@ -40,6 +42,7 @@ impl Platoon {
             start_offsets,
             min_gap: gap_miles,
             initial_gap: gap_miles,
+            stats: vec![VehicleSummary::default(); size],
         }
     }
 
@@ -58,11 +61,19 @@ impl Platoon {
         self.min_gap <= 0.0
     }
 
+    /// Cumulative per-vehicle fusion statistics (leader first) — every
+    /// vehicle's engine outcome feeds its own aggregate, so followers are
+    /// as observable as the leader in sweep rows.
+    pub fn vehicle_stats(&self) -> &[VehicleSummary] {
+        &self.stats
+    }
+
     /// Advances every vehicle by one control period and updates the gap
-    /// statistics. Returns the per-vehicle step records, leader first.
+    /// and per-vehicle statistics. Returns the per-vehicle step records,
+    /// leader first.
     pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<StepRecord> {
         let records: Vec<StepRecord> = self.sharks.iter_mut().map(|s| s.step(rng)).collect();
-        self.update_gaps();
+        self.record_round(&records);
         records
     }
 
@@ -84,8 +95,15 @@ impl Platoon {
                 shark.step(rng)
             });
         }
-        self.update_gaps();
+        self.record_round(&records);
         records
+    }
+
+    fn record_round(&mut self, records: &[StepRecord]) {
+        for (stats, record) in self.stats.iter_mut().zip(records) {
+            stats.record(record.fusion.as_ref(), record.true_speed);
+        }
+        self.update_gaps();
     }
 
     fn update_gaps(&mut self) {
@@ -108,7 +126,7 @@ impl Platoon {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::closed_loop::landshark::AttackSelection;
+    use crate::scenario::AttackerSpec;
     use arsf_schedule::SchedulePolicy;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -139,7 +157,7 @@ mod tests {
     fn attacked_ascending_platoon_stays_safe() {
         let mut rng = rng();
         let config = LandSharkConfig::new(10.0, SchedulePolicy::Ascending)
-            .with_attack(AttackSelection::RandomEachRound);
+            .with_attacker(AttackerSpec::RandomEachRound);
         let mut platoon = Platoon::new(3, 0.01, config);
         for _ in 0..300 {
             platoon.step(&mut rng);
@@ -151,6 +169,38 @@ mod tests {
             .map(|s| s.supervisor().upper_violations() + s.supervisor().lower_violations())
             .sum();
         assert_eq!(violations, 0, "ascending neutralises single attackers");
+    }
+
+    #[test]
+    fn every_vehicle_accumulates_its_own_statistics() {
+        // Before the per-vehicle aggregate only the leader's engine fed
+        // the summary; followers were invisible.
+        let mut rng = rng();
+        let config = LandSharkConfig::new(10.0, SchedulePolicy::Descending)
+            .with_attacker(AttackerSpec::RandomEachRound);
+        let mut platoon = Platoon::new(3, 0.01, config);
+        let mut buffer = RoundOutcome::default();
+        for _ in 0..200 {
+            platoon.step_with(&mut rng, &mut buffer);
+        }
+        let stats = platoon.vehicle_stats();
+        assert_eq!(stats.len(), 3, "one aggregate per vehicle");
+        for (i, vehicle) in stats.iter().enumerate() {
+            assert_eq!(
+                vehicle.widths.count() + vehicle.fusion_failures,
+                200,
+                "vehicle {i} must account for every round"
+            );
+            assert!(
+                vehicle.widths.mean() > 0.0,
+                "vehicle {i} recorded no widths"
+            );
+        }
+        // Independently-sampled vehicles almost surely differ somewhere.
+        assert!(
+            stats[0] != stats[1] || stats[1] != stats[2],
+            "per-vehicle statistics must not alias one engine"
+        );
     }
 
     #[test]

@@ -108,6 +108,40 @@ pub struct SupervisorSummary {
     pub min_gap: Option<f64>,
 }
 
+/// Per-vehicle fusion statistics of one closed-loop platoon run.
+///
+/// A platoon's [`BatchSummary`](crate::BatchSummary) describes the
+/// **leader** in its headline width/truth columns; this struct carries
+/// the same fusion-quality statistics for *every* vehicle (leader first),
+/// cumulative over the runner's lifetime, so followers stop being
+/// invisible in sweep rows.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VehicleSummary {
+    /// Width statistics over this vehicle's fused rounds.
+    pub widths: WidthStats,
+    /// Rounds whose fused interval did not contain the vehicle's true
+    /// speed.
+    pub truth_lost: u64,
+    /// Rounds where this vehicle's fusion failed outright.
+    pub fusion_failures: u64,
+}
+
+impl VehicleSummary {
+    /// Records one control period: the vehicle's fused interval (if
+    /// fusion succeeded) at its true speed.
+    pub fn record(&mut self, fusion: Option<&Interval<f64>>, true_speed: f64) {
+        match fusion {
+            Some(fused) => {
+                self.widths.record(fused.width());
+                if !fused.contains(true_speed) {
+                    self.truth_lost += 1;
+                }
+            }
+            None => self.fusion_failures += 1,
+        }
+    }
+}
+
 /// Streaming width statistics (mean / min / max) without storing samples.
 ///
 /// # Example
@@ -223,6 +257,18 @@ mod tests {
     #[should_panic(expected = "finite ordered pair")]
     fn inverted_envelope_panics() {
         let _ = ViolationCounter::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn vehicle_summary_tracks_fusion_quality() {
+        let mut v = VehicleSummary::default();
+        v.record(Some(&iv(9.0, 11.0)), 10.0); // fused, truth inside
+        v.record(Some(&iv(9.0, 9.8)), 10.0); // fused, truth lost
+        v.record(None, 10.0); // fusion failed
+        assert_eq!(v.widths.count(), 2);
+        assert_eq!(v.truth_lost, 1);
+        assert_eq!(v.fusion_failures, 1);
+        assert_eq!(v.widths.max(), Some(2.0));
     }
 
     #[test]

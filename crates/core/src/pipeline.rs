@@ -160,6 +160,13 @@ impl<F: Fuser<f64>> PipelineBuilder<F> {
 /// [`Detector`]), so every algorithm in `arsf-fusion` and every detector
 /// in `arsf-detect` runs through the same entry point.
 ///
+/// This engine is also the closed-loop engines' engine: a
+/// [`LandShark`](crate::closed_loop::landshark::LandShark) (and hence
+/// every platoon vehicle) owns one pipeline built through the identical
+/// fault-wiring and attacker machinery, so faults, any attack strategy
+/// and any fuser behave the same whether a round is driven open-loop or
+/// from inside the vehicle control loop.
+///
 /// See the [crate documentation](crate) for an end-to-end example.
 pub struct FusionPipeline<F: Fuser<f64> = MarzulloFuser> {
     suite: SensorSuite,

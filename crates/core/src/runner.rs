@@ -16,8 +16,8 @@ use rand::{Rng, SeedableRng};
 use crate::closed_loop::landshark::LandShark;
 use crate::closed_loop::platoon::Platoon;
 use crate::closed_loop::supervisor::SupervisorAction;
-use crate::metrics::{SupervisorSummary, WidthStats};
-use crate::scenario::{AttackerSpec, PlatoonSpec, Scenario};
+use crate::metrics::{SupervisorSummary, VehicleSummary, WidthStats};
+use crate::scenario::{AttackerSpec, PlatoonSpec, Scenario, ScenarioError};
 use crate::{FusionPipeline, RoundOutcome};
 
 /// Aggregated results of one scenario run.
@@ -48,6 +48,10 @@ pub struct BatchSummary {
     /// Safety-supervisor statistics, cumulative over the runner's
     /// lifetime; `None` for open-loop runs.
     pub supervisor: Option<SupervisorSummary>,
+    /// Per-vehicle fusion statistics (leader first), cumulative over the
+    /// runner's lifetime; empty except for closed-loop **platoon** runs,
+    /// where every vehicle's engine outcome feeds its own aggregate.
+    pub vehicles: Vec<VehicleSummary>,
 }
 
 impl BatchSummary {
@@ -63,6 +67,7 @@ impl BatchSummary {
             flagged_rounds: 0,
             condemned: Vec::new(),
             supervisor: None,
+            vehicles: Vec::new(),
         }
     }
 
@@ -161,18 +166,31 @@ impl ScenarioRunner {
     ///
     /// # Panics
     ///
-    /// Panics if the scenario references sensor indices outside its
-    /// suite (see [`Scenario::build_pipeline`]) or combines closed-loop
-    /// execution with unsupported axes (see
-    /// [`Scenario::landshark_config`]).
+    /// Panics if the scenario fails [`Scenario::validate`] (an
+    /// out-of-range fault/compromised index, a non-LandShark closed-loop
+    /// suite, or a degenerate platoon). Use [`ScenarioRunner::try_new`]
+    /// for the typed error instead.
     pub fn new(scenario: &Scenario) -> Self {
-        Self {
+        Self::try_new(scenario)
+            .unwrap_or_else(|e| panic!("invalid scenario `{}`: {e}", scenario.name))
+    }
+
+    /// Fallible [`ScenarioRunner::new`]: validates the scenario first and
+    /// returns the typed [`ScenarioError`] instead of panicking, so sweep
+    /// harnesses can reject impossible cells gracefully.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScenarioError`] [`Scenario::validate`] finds.
+    pub fn try_new(scenario: &Scenario) -> Result<Self, ScenarioError> {
+        scenario.validate()?;
+        Ok(Self {
             scenario: scenario.clone(),
             engine: build_engine(scenario),
             rng: StdRng::seed_from_u64(scenario.seed),
             round: 0,
             preemptions: 0,
-        }
+        })
     }
 
     /// The scenario being executed.
@@ -282,9 +300,13 @@ impl ScenarioRunner {
         )
     }
 
-    /// Fills the summary's supervisor columns from the closed-loop
-    /// engine's cumulative statistics (no-op for open-loop runs).
+    /// Fills the summary's supervisor and per-vehicle columns from the
+    /// closed-loop engine's cumulative statistics (no-op for open-loop
+    /// runs).
     fn attach_supervisor(&self, summary: &mut BatchSummary) {
+        if let Engine::Platoon(platoon) = &self.engine {
+            summary.vehicles = platoon.vehicle_stats().to_vec();
+        }
         summary.supervisor = match &self.engine {
             Engine::Open(_) => None,
             Engine::Shark(shark) => Some(SupervisorSummary {
@@ -592,6 +614,125 @@ mod tests {
         reused.flagged.extend([0, 1, 2]);
         let again = ScenarioRunner::new(&scenario).run_into(&mut reused);
         assert_eq!(fresh, again);
+    }
+
+    #[test]
+    fn try_new_rejects_impossible_scenarios_with_typed_errors() {
+        use crate::scenario::{ClosedLoopSpec, ScenarioError};
+        use arsf_sensor::{FaultKind, FaultModel};
+        let closed_widths = Scenario::new("bad-suite", SuiteSpec::Widths(vec![1.0, 2.0]))
+            .with_closed_loop(ClosedLoopSpec::new(10.0));
+        assert!(matches!(
+            ScenarioRunner::try_new(&closed_widths),
+            Err(ScenarioError::ClosedLoopSuite { .. })
+        ));
+        let bad_fault = Scenario::new("bad-fault", SuiteSpec::Landshark)
+            .with_fault(9, FaultModel::new(FaultKind::Silent, 1.0));
+        assert!(matches!(
+            ScenarioRunner::try_new(&bad_fault),
+            Err(ScenarioError::FaultSensorOutOfRange {
+                sensor: 9,
+                suite_len: 4
+            })
+        ));
+        let bad_attack =
+            Scenario::new("bad-attack", SuiteSpec::Landshark).with_attacker(AttackerSpec::Fixed {
+                sensors: vec![7],
+                strategy: StrategySpec::PhantomOptimal,
+            });
+        assert!(matches!(
+            ScenarioRunner::try_new(&bad_attack),
+            Err(ScenarioError::AttackedSensorOutOfRange {
+                sensor: 7,
+                suite_len: 4
+            })
+        ));
+        let bad_platoon = Scenario::new("bad-platoon", SuiteSpec::Landshark)
+            .with_closed_loop(ClosedLoopSpec::new(10.0).with_platoon(0, 0.01));
+        assert!(matches!(
+            ScenarioRunner::try_new(&bad_platoon),
+            Err(ScenarioError::EmptyPlatoon)
+        ));
+        // Errors render as readable messages.
+        let err = ScenarioRunner::try_new(&bad_fault).unwrap_err();
+        assert!(err.to_string().contains("fault sensor index 9"));
+        // And everything validate accepts builds.
+        assert!(ScenarioRunner::try_new(&quick("fine")).is_ok());
+    }
+
+    #[test]
+    fn closed_loop_faults_and_nonphantom_attacks_run() {
+        // Regression (ISSUE 4): these exact combinations panicked in
+        // Scenario::landshark_config before the engines were routed
+        // through the pipeline's fault/attacker machinery.
+        use crate::scenario::ClosedLoopSpec;
+        use arsf_sensor::{FaultKind, FaultModel};
+        let base = Scenario::new("cl", SuiteSpec::Landshark)
+            .with_rounds(60)
+            .with_closed_loop(ClosedLoopSpec::new(10.0));
+        let faulted = base
+            .clone()
+            .with_fault(2, FaultModel::new(FaultKind::Bias { offset: 3.0 }, 0.2));
+        let greedy = base.clone().with_attacker(AttackerSpec::Fixed {
+            sensors: vec![0],
+            strategy: StrategySpec::GreedyHigh,
+        });
+        let truthful = base.clone().with_attacker(AttackerSpec::Fixed {
+            sensors: vec![1],
+            strategy: StrategySpec::Truthful,
+        });
+        let hull = base.clone().with_fuser(FuserSpec::Hull);
+        let everything = base
+            .with_fault(3, FaultModel::new(FaultKind::Silent, 0.5))
+            .with_attacker(AttackerSpec::Fixed {
+                sensors: vec![0],
+                strategy: StrategySpec::GreedyLow,
+            })
+            .with_fuser(FuserSpec::BrooksIyengar)
+            .with_schedule(SchedulePolicy::Descending);
+        for scenario in [faulted, greedy, truthful, hull, everything] {
+            scenario.validate().expect("supported combination");
+            let summary = ScenarioRunner::new(&scenario).run();
+            assert_eq!(summary.rounds, 60, "{} stalled", summary.fuser);
+            assert!(
+                summary.supervisor.is_some(),
+                "closed-loop rows carry supervisor stats"
+            );
+        }
+    }
+
+    #[test]
+    fn platoon_summaries_carry_per_vehicle_statistics() {
+        use crate::scenario::ClosedLoopSpec;
+        let scenario = Scenario::new("pv", SuiteSpec::Landshark)
+            .with_rounds(120)
+            .with_attacker(AttackerSpec::RandomEachRound)
+            .with_closed_loop(ClosedLoopSpec::new(10.0).with_platoon(3, 0.01));
+        let mut runner = ScenarioRunner::new(&scenario);
+        let summary = runner.run();
+        assert_eq!(summary.vehicles.len(), 3, "one aggregate per vehicle");
+        for (i, vehicle) in summary.vehicles.iter().enumerate() {
+            assert_eq!(
+                vehicle.widths.count() + vehicle.fusion_failures,
+                120,
+                "vehicle {i} accounts for every control period"
+            );
+        }
+        // The leader's aggregate is exactly the summary's headline stats.
+        assert_eq!(summary.vehicles[0].widths, summary.widths);
+        assert_eq!(summary.vehicles[0].truth_lost, summary.truth_lost);
+        // Statistics are cumulative, like the supervisor's.
+        let again = runner.run();
+        assert_eq!(
+            again.vehicles[0].widths.count() + again.vehicles[0].fusion_failures,
+            240
+        );
+        // Single-vehicle and open-loop runs carry no per-vehicle rows.
+        let single = Scenario::new("sv", SuiteSpec::Landshark)
+            .with_rounds(20)
+            .with_closed_loop(ClosedLoopSpec::new(10.0));
+        assert!(ScenarioRunner::new(&single).run().vehicles.is_empty());
+        assert!(ScenarioRunner::new(&quick("ol")).run().vehicles.is_empty());
     }
 
     #[test]

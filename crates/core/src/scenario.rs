@@ -18,7 +18,7 @@ use arsf_attack::strategies::{GreedyExtreme, PhantomOptimal, Side};
 use arsf_attack::{AttackStrategy, AttackerConfig, Truthful};
 use arsf_fusion::historical::{DynamicsBound, HistoricalFuser};
 
-use crate::closed_loop::landshark::{AttackSelection, LandSharkConfig};
+use crate::closed_loop::landshark::LandSharkConfig;
 use arsf_fusion::{
     BrooksIyengarFuser, Fuser, HullFuser, IntersectionFuser, InverseVarianceFuser, MarzulloFuser,
     MidpointMedianFuser,
@@ -27,6 +27,75 @@ use arsf_schedule::SchedulePolicy;
 use arsf_sensor::{FaultModel, SensorSuite};
 
 use crate::{DetectionMode, FusionPipeline, PipelineConfig};
+
+/// A scenario combination the engines genuinely cannot execute.
+///
+/// Returned by [`Scenario::validate`] (and
+/// [`ScenarioRunner::try_new`](crate::ScenarioRunner::try_new)) so
+/// harnesses can reject an impossible cell with a typed error instead of
+/// a panic. Everything *not* listed here is a supported combination: any
+/// fuser, any attack strategy and any fault set run both open- and
+/// closed-loop.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScenarioError {
+    /// A fault model references a sensor index the suite does not have.
+    FaultSensorOutOfRange {
+        /// The offending sensor index.
+        sensor: usize,
+        /// The suite's sensor count.
+        suite_len: usize,
+    },
+    /// A fixed attacker references a sensor index the suite does not
+    /// have.
+    AttackedSensorOutOfRange {
+        /// The offending sensor index.
+        sensor: usize,
+        /// The suite's sensor count.
+        suite_len: usize,
+    },
+    /// Closed-loop execution drives a LandShark, whose physical sensors
+    /// *are* the LandShark suite — other suites cannot be bolted onto the
+    /// vehicle.
+    ClosedLoopSuite {
+        /// The rejected suite's label.
+        suite: String,
+    },
+    /// A closed-loop platoon needs at least one vehicle.
+    EmptyPlatoon,
+    /// A closed-loop platoon's initial gap must be a positive finite
+    /// number of miles.
+    InvalidPlatoonGap {
+        /// The rejected gap.
+        gap_miles: f64,
+    },
+}
+
+impl core::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ScenarioError::FaultSensorOutOfRange { sensor, suite_len } => write!(
+                f,
+                "fault sensor index {sensor} out of range for a {suite_len}-sensor suite"
+            ),
+            ScenarioError::AttackedSensorOutOfRange { sensor, suite_len } => write!(
+                f,
+                "compromised sensor index {sensor} out of range for a {suite_len}-sensor suite"
+            ),
+            ScenarioError::ClosedLoopSuite { suite } => write!(
+                f,
+                "closed-loop scenarios run the LandShark suite, not `{suite}`"
+            ),
+            ScenarioError::EmptyPlatoon => write!(f, "a platoon needs at least one vehicle"),
+            ScenarioError::InvalidPlatoonGap { gap_miles } => write!(
+                f,
+                "platoon initial gap must be positive and finite, got {gap_miles}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
 
 /// Which sensor suite a scenario instantiates.
 #[derive(Debug, Clone, PartialEq)]
@@ -141,6 +210,44 @@ impl AttackerSpec {
             }
             AttackerSpec::RandomEachRound => "random-each-round".to_string(),
         }
+    }
+
+    /// The `(config, strategy)` pair an engine installs for this attacker
+    /// (`None` for honest runs).
+    ///
+    /// [`AttackerSpec::RandomEachRound`] is installed with an **empty**
+    /// compromised set and a persistent [`PhantomOptimal`]: the runner
+    /// swaps only the attacker config to the round's drawn sensor (see
+    /// [`FusionPipeline::set_attacker_config`]), never re-boxing the
+    /// strategy. Both the open-loop pipeline and the closed-loop vehicle
+    /// engines build their attacker through this one method.
+    pub fn build(&self, f: usize) -> Option<(AttackerConfig, Box<dyn AttackStrategy>)> {
+        match self {
+            AttackerSpec::None => None,
+            AttackerSpec::Fixed { sensors, strategy } => Some((
+                AttackerConfig::new(sensors.iter().copied(), f),
+                strategy.build(),
+            )),
+            AttackerSpec::RandomEachRound => Some((
+                AttackerConfig::new([], f),
+                StrategySpec::PhantomOptimal.build(),
+            )),
+        }
+    }
+}
+
+/// Attaches fault models to a built suite — the single wiring point both
+/// the open-loop pipeline and the closed-loop vehicle engines use.
+///
+/// # Panics
+///
+/// Panics if a fault's sensor index is out of range for the suite
+/// ([`Scenario::validate`] reports the same condition as a typed error).
+pub(crate) fn apply_faults(suite: &mut SensorSuite, faults: &[(usize, FaultModel)]) {
+    for (sensor, fault) in faults {
+        let sensors = suite.sensors_mut();
+        assert!(*sensor < sensors.len(), "fault sensor index out of range");
+        sensors[*sensor] = sensors[*sensor].clone().with_fault(*fault);
     }
 }
 
@@ -271,10 +378,12 @@ pub struct PlatoonSpec {
 /// summary gains the supervisor's Table II columns
 /// ([`SupervisorSummary`](crate::metrics::SupervisorSummary)).
 ///
-/// Closed-loop scenarios are restricted to what the vehicle supports:
-/// the LandShark suite, no fault injection, Marzullo or Historical
-/// fusion, and phantom-optimal attack strategies (see
-/// [`Scenario::landshark_config`] for the exact panics).
+/// Any fault set, any [`AttackerSpec`] (with any [`StrategySpec`]) and
+/// any [`FuserSpec`] runs closed-loop — the vehicle engines route
+/// through the same fault/attacker machinery as the open-loop pipeline.
+/// The only genuinely impossible combination is a non-LandShark suite
+/// (the vehicle's physical sensors *are* the LandShark suite); see
+/// [`Scenario::validate`] for the typed [`ScenarioError`]s.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClosedLoopSpec {
     /// Target speed `v` in mph.
@@ -463,41 +572,73 @@ impl Scenario {
         self
     }
 
+    /// Checks the scenario for combinations the engines genuinely cannot
+    /// execute.
+    ///
+    /// A scenario passing `validate` is guaranteed to build and run: any
+    /// fuser × any attack strategy × any fault set, in both execution
+    /// modes. The only rejections are referential (a fault or compromised
+    /// index outside the suite) and physical (closed-loop execution on a
+    /// suite that is not the LandShark's, a degenerate platoon).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScenarioError`] found.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let suite_len = self.suite.len();
+        for (sensor, _) in &self.faults {
+            if *sensor >= suite_len {
+                return Err(ScenarioError::FaultSensorOutOfRange {
+                    sensor: *sensor,
+                    suite_len,
+                });
+            }
+        }
+        if let AttackerSpec::Fixed { sensors, .. } = &self.attacker {
+            for &sensor in sensors {
+                if sensor >= suite_len {
+                    return Err(ScenarioError::AttackedSensorOutOfRange { sensor, suite_len });
+                }
+            }
+        }
+        if let Some(spec) = &self.closed_loop {
+            if self.suite != SuiteSpec::Landshark {
+                return Err(ScenarioError::ClosedLoopSuite {
+                    suite: self.suite.label(),
+                });
+            }
+            if let Some(platoon) = spec.platoon {
+                if platoon.size == 0 {
+                    return Err(ScenarioError::EmptyPlatoon);
+                }
+                if !(platoon.gap_miles > 0.0 && platoon.gap_miles.is_finite()) {
+                    return Err(ScenarioError::InvalidPlatoonGap {
+                        gap_miles: platoon.gap_miles,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Materialises the scenario into an engine over boxed trait objects.
     ///
     /// # Panics
     ///
     /// Panics if a fault or compromised-sensor index is out of range for
-    /// the suite.
+    /// the suite ([`Scenario::validate`] reports the same conditions as
+    /// typed errors).
     pub fn build_pipeline(&self) -> FusionPipeline<Box<dyn Fuser<f64>>> {
         let mut suite = self.suite.build();
-        for (sensor, fault) in &self.faults {
-            let sensors = suite.sensors_mut();
-            assert!(*sensor < sensors.len(), "fault sensor index out of range");
-            sensors[*sensor] = sensors[*sensor].clone().with_fault(*fault);
-        }
+        apply_faults(&mut suite, &self.faults);
         let config =
             PipelineConfig::new(self.f, self.schedule.clone()).with_detection(self.detector);
         let builder = FusionPipeline::builder(suite)
             .config(config)
             .fuser(self.fuser.build(self.f));
-        match &self.attacker {
-            AttackerSpec::None => builder.build(),
-            AttackerSpec::Fixed { sensors, strategy } => builder
-                .attacker(
-                    AttackerConfig::new(sensors.iter().copied(), self.f),
-                    strategy.build(),
-                )
-                .build(),
-            // Installed with an empty compromised set: the runner swaps
-            // the attacker config to the round's drawn sensor before
-            // every round (see `ScenarioRunner::step_into`).
-            AttackerSpec::RandomEachRound => builder
-                .attacker(
-                    AttackerConfig::new([], self.f),
-                    StrategySpec::PhantomOptimal.build(),
-                )
-                .build(),
+        match self.attacker.build(self.f) {
+            None => builder.build(),
+            Some((attacker, strategy)) => builder.attacker(attacker, strategy).build(),
         }
     }
 
@@ -505,56 +646,35 @@ impl Scenario {
     /// runner materialises into a
     /// [`LandShark`](crate::closed_loop::landshark::LandShark).
     ///
+    /// The scenario's fault set, attacker (any strategy), fuser, detector,
+    /// schedule and fault assumption `f` all carry over verbatim — the
+    /// vehicle engine runs them through the same machinery as the
+    /// open-loop pipeline. For [`FuserSpec::Historical`] the fuser's `dt`
+    /// also becomes the control period.
+    ///
     /// # Panics
     ///
-    /// Panics when the scenario is not closed-loop, or combines
-    /// closed-loop execution with anything the vehicle does not support:
-    /// a non-LandShark suite, fault injection, a fuser other than
-    /// [`FuserSpec::Marzullo`] / [`FuserSpec::Historical`], or a fixed
-    /// attacker running a strategy other than
-    /// [`StrategySpec::PhantomOptimal`].
+    /// Panics when the scenario is not closed-loop or fails
+    /// [`Scenario::validate`] (use `validate` first for a typed
+    /// [`ScenarioError`]).
     pub fn landshark_config(&self) -> LandSharkConfig {
+        self.validate()
+            .unwrap_or_else(|e| panic!("invalid scenario `{}`: {e}", self.name));
         let spec = self
             .closed_loop
             .as_ref()
             .expect("landshark_config needs a closed-loop scenario");
-        assert_eq!(
-            self.suite,
-            SuiteSpec::Landshark,
-            "closed-loop scenarios run the LandShark suite"
-        );
-        assert!(
-            self.faults.is_empty(),
-            "closed-loop scenarios do not support fault injection"
-        );
-        let (history, dt) = match self.fuser {
-            FuserSpec::Marzullo => (None, 0.1),
-            FuserSpec::Historical { max_rate, dt } => (Some(DynamicsBound::new(max_rate)), dt),
-            ref other => panic!(
-                "closed-loop scenarios fuse with marzullo or historical, not {}",
-                other.name()
-            ),
-        };
-        let attack = match &self.attacker {
-            AttackerSpec::None => AttackSelection::None,
-            AttackerSpec::Fixed { sensors, strategy } => {
-                assert_eq!(
-                    *strategy,
-                    StrategySpec::PhantomOptimal,
-                    "the vehicle's fixed attacker runs phantom-optimal"
-                );
-                AttackSelection::Fixed(sensors.clone())
-            }
-            AttackerSpec::RandomEachRound => AttackSelection::RandomEachRound,
-        };
         let mut config = LandSharkConfig::new(spec.target_speed, self.schedule.clone());
         config.delta_up = spec.delta_up;
         config.delta_down = spec.delta_down;
         config.f = self.f;
-        config.dt = dt;
-        config.attack = attack;
+        if let FuserSpec::Historical { dt, .. } = self.fuser {
+            config.dt = dt;
+        }
+        config.faults = self.faults.clone();
+        config.attacker = self.attacker.clone();
         config.detection = self.detector;
-        config.history = history;
+        config.fuser = self.fuser.clone();
         config
     }
 }
@@ -706,6 +826,26 @@ pub fn registry() -> Vec<Scenario> {
         table2_preset(SchedulePolicy::Ascending),
         table2_preset(SchedulePolicy::Descending),
         table2_preset(SchedulePolicy::Random),
+        // The formerly-impossible closed-loop combinations, now plain
+        // cells: fault injection and non-phantom strategies in the loop.
+        Scenario::new("table2-faulted-gps", SuiteSpec::Landshark)
+            .with_attacker(AttackerSpec::RandomEachRound)
+            .with_fault(
+                2,
+                FaultModel::new(arsf_sensor::FaultKind::Bias { offset: 3.0 }, 0.2),
+            )
+            .with_detector(DetectionMode::Windowed {
+                window: 20,
+                tolerance: 6,
+            })
+            .with_closed_loop(ClosedLoopSpec::new(10.0)),
+        Scenario::new("table2-greedy-descending", SuiteSpec::Landshark)
+            .with_schedule(SchedulePolicy::Descending)
+            .with_attacker(AttackerSpec::Fixed {
+                sensors: vec![0],
+                strategy: StrategySpec::GreedyHigh,
+            })
+            .with_closed_loop(ClosedLoopSpec::new(10.0)),
         Scenario::new("platoon-historical", SuiteSpec::Landshark)
             .with_schedule(SchedulePolicy::Descending)
             .with_attacker(AttackerSpec::RandomEachRound)
@@ -811,6 +951,87 @@ mod tests {
         let _ = Scenario::new("t", SuiteSpec::Widths(vec![1.0]))
             .with_fault(5, FaultModel::new(arsf_sensor::FaultKind::Silent, 1.0))
             .build_pipeline();
+    }
+
+    #[test]
+    fn validate_accepts_supported_and_rejects_impossible_combinations() {
+        // The full formerly-panicking closed-loop space is now valid.
+        let supported = Scenario::new("ok", SuiteSpec::Landshark)
+            .with_fault(2, FaultModel::new(arsf_sensor::FaultKind::Silent, 0.5))
+            .with_attacker(AttackerSpec::Fixed {
+                sensors: vec![0],
+                strategy: StrategySpec::GreedyLow,
+            })
+            .with_fuser(FuserSpec::BrooksIyengar)
+            .with_closed_loop(ClosedLoopSpec::new(10.0).with_platoon(3, 0.01));
+        assert_eq!(supported.validate(), Ok(()));
+        // Genuinely impossible combos come back as typed errors.
+        let bad_suite = Scenario::new("bad", SuiteSpec::Widths(vec![1.0, 2.0]))
+            .with_closed_loop(ClosedLoopSpec::new(10.0));
+        assert_eq!(
+            bad_suite.validate(),
+            Err(ScenarioError::ClosedLoopSuite {
+                suite: "widths[1|2]".to_string()
+            })
+        );
+        let bad_fault = Scenario::new("bad", SuiteSpec::Landshark)
+            .with_fault(4, FaultModel::new(arsf_sensor::FaultKind::Silent, 1.0));
+        assert_eq!(
+            bad_fault.validate(),
+            Err(ScenarioError::FaultSensorOutOfRange {
+                sensor: 4,
+                suite_len: 4
+            })
+        );
+        let bad_gap = Scenario::new("bad", SuiteSpec::Landshark)
+            .with_closed_loop(ClosedLoopSpec::new(10.0).with_platoon(2, f64::NAN));
+        assert!(matches!(
+            bad_gap.validate(),
+            Err(ScenarioError::InvalidPlatoonGap { .. })
+        ));
+    }
+
+    #[test]
+    fn landshark_config_carries_faults_fusers_and_strategies() {
+        // Regression: each of these axes used to hit an assert in
+        // landshark_config; now they map onto the vehicle configuration
+        // verbatim.
+        let scenario = Scenario::new("cl", SuiteSpec::Landshark)
+            .with_fault(2, FaultModel::new(arsf_sensor::FaultKind::Silent, 0.5))
+            .with_attacker(AttackerSpec::Fixed {
+                sensors: vec![0],
+                strategy: StrategySpec::GreedyHigh,
+            })
+            .with_fuser(FuserSpec::BrooksIyengar)
+            .with_detector(DetectionMode::Off)
+            .with_closed_loop(ClosedLoopSpec::new(12.0).with_deltas(0.4, 0.6));
+        let config = scenario.landshark_config();
+        assert_eq!(config.faults, scenario.faults);
+        assert_eq!(config.attacker, scenario.attacker);
+        assert_eq!(config.fuser, FuserSpec::BrooksIyengar);
+        assert_eq!(config.detection, DetectionMode::Off);
+        assert_eq!(config.target_speed, 12.0);
+        assert_eq!((config.delta_up, config.delta_down), (0.4, 0.6));
+        assert_eq!(
+            config.dt, 0.1,
+            "non-historical fusers keep the 100 ms period"
+        );
+        // Historical fusion also sets the control period from its dt.
+        let historical = Scenario::new("cl-h", SuiteSpec::Landshark)
+            .with_fuser(FuserSpec::Historical {
+                max_rate: 3.5,
+                dt: 0.05,
+            })
+            .with_closed_loop(ClosedLoopSpec::new(10.0));
+        assert_eq!(historical.landshark_config().dt, 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "LandShark suite")]
+    fn closed_loop_on_a_widths_suite_panics_via_validate() {
+        let _ = Scenario::new("bad", SuiteSpec::Widths(vec![1.0]))
+            .with_closed_loop(ClosedLoopSpec::new(10.0))
+            .landshark_config();
     }
 
     #[test]

@@ -372,18 +372,23 @@ impl SweepReport {
     /// containing separators are quoted; floats use Rust's shortest
     /// round-trip formatting, so equal reports render byte-identically.
     /// The supervisor columns (`above_rate`, `below_rate`, `preemptions`,
-    /// `min_gap`) are empty for open-loop rows.
+    /// `min_gap`) are empty for open-loop rows, and the per-vehicle
+    /// columns (`vehicle_mean_widths`, `vehicle_max_widths`,
+    /// `vehicle_truth_lost` — pipe-joined, leader first) are empty for
+    /// everything but closed-loop platoon rows.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "cell,scenario,suite,faults,attacker,schedule,fuser,detector,rounds,seed,\
              mean_width,min_width,max_width,truth_lost,truth_loss_rate,\
              fusion_failures,flagged_rounds,condemned,\
-             above_rate,below_rate,preemptions,min_gap\n",
+             above_rate,below_rate,preemptions,min_gap,\
+             vehicle_mean_widths,vehicle_max_widths,vehicle_truth_lost\n",
         );
         for row in &self.rows {
             let s = &row.summary;
             let condemned: Vec<String> = s.condemned.iter().map(|c| format!("{c}")).collect();
             let sup = s.supervisor.as_ref();
+            let join = |parts: Vec<String>| parts.join("|");
             let cells = [
                 format!("{}", row.cell),
                 csv_field(&s.scenario),
@@ -408,6 +413,24 @@ impl SweepReport {
                 sup.map_or(String::new(), |v| format!("{}", v.preemptions)),
                 sup.and_then(|v| v.min_gap)
                     .map_or(String::new(), |g| format!("{g}")),
+                join(
+                    s.vehicles
+                        .iter()
+                        .map(|v| format!("{}", v.widths.mean()))
+                        .collect(),
+                ),
+                join(
+                    s.vehicles
+                        .iter()
+                        .map(|v| v.widths.max().map_or(String::new(), |w| format!("{w}")))
+                        .collect(),
+                ),
+                join(
+                    s.vehicles
+                        .iter()
+                        .map(|v| format!("{}", v.truth_lost))
+                        .collect(),
+                ),
             ];
             out.push_str(&cells.join(","));
             out.push('\n');
@@ -417,7 +440,9 @@ impl SweepReport {
 
     /// Renders the report as a JSON array of row objects (no external
     /// dependencies; strings are escaped, absent min/max and the
-    /// supervisor columns of open-loop rows become `null`).
+    /// supervisor columns of open-loop rows become `null`, and the
+    /// per-vehicle columns are arrays — empty for everything but
+    /// closed-loop platoon rows).
     pub fn to_json(&self) -> String {
         let mut out = String::from("[");
         for (i, row) in self.rows.iter().enumerate() {
@@ -427,13 +452,33 @@ impl SweepReport {
             let s = &row.summary;
             let condemned: Vec<String> = s.condemned.iter().map(|c| format!("{c}")).collect();
             let sup = s.supervisor.as_ref();
+            let vehicle_means: Vec<String> = s
+                .vehicles
+                .iter()
+                .map(|v| format!("{}", v.widths.mean()))
+                .collect();
+            let vehicle_maxes: Vec<String> = s
+                .vehicles
+                .iter()
+                .map(|v| {
+                    v.widths
+                        .max()
+                        .map_or("null".to_string(), |w| format!("{w}"))
+                })
+                .collect();
+            let vehicle_lost: Vec<String> = s
+                .vehicles
+                .iter()
+                .map(|v| format!("{}", v.truth_lost))
+                .collect();
             out.push_str(&format!(
                 "\n  {{\"cell\":{},\"scenario\":{},\"suite\":{},\"faults\":{},\"attacker\":{},\
                  \"schedule\":{},\"fuser\":{},\"detector\":{},\"rounds\":{},\"seed\":{},\
                  \"mean_width\":{},\"min_width\":{},\"max_width\":{},\"truth_lost\":{},\
                  \"truth_loss_rate\":{},\"fusion_failures\":{},\"flagged_rounds\":{},\
                  \"condemned\":[{}],\"above_rate\":{},\"below_rate\":{},\
-                 \"preemptions\":{},\"min_gap\":{}}}",
+                 \"preemptions\":{},\"min_gap\":{},\"vehicle_mean_widths\":[{}],\
+                 \"vehicle_max_widths\":[{}],\"vehicle_truth_lost\":[{}]}}",
                 row.cell,
                 json_string(&s.scenario),
                 json_string(&row.suite),
@@ -461,6 +506,9 @@ impl SweepReport {
                 sup.map_or("null".to_string(), |v| format!("{}", v.preemptions)),
                 sup.and_then(|v| v.min_gap)
                     .map_or("null".to_string(), |g| format!("{g}")),
+                vehicle_means.join(","),
+                vehicle_maxes.join(","),
+                vehicle_lost.join(","),
             ));
         }
         out.push_str("\n]\n");
@@ -531,7 +579,27 @@ impl ParallelSweeper {
 
     /// Runs every grid cell; rows come back in grid order.
     pub fn run(&self, grid: &SweepGrid) -> SweepReport {
-        self.run_indexed(grid.len(), &|i| grid.scenario(i))
+        self.run_indexed(0..grid.len(), &|i| grid.scenario(i))
+    }
+
+    /// Runs a contiguous **cell range** of a grid — the shard one process
+    /// takes when a sweep is split across machines. Rows keep their
+    /// *grid* cell indices and derived seeds, so concatenating the
+    /// reports of `0..k` and `k..len` reproduces `run` byte-for-byte and
+    /// any shard is reproducible in isolation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range end exceeds the grid length.
+    pub fn run_range(&self, grid: &SweepGrid, range: std::ops::Range<usize>) -> SweepReport {
+        assert!(
+            range.end <= grid.len(),
+            "cell range {}..{} exceeds the {}-cell grid",
+            range.start,
+            range.end,
+            grid.len()
+        );
+        self.run_indexed(range, &|i| grid.scenario(i))
     }
 
     /// Runs an explicit scenario list (cell `i` = `scenarios[i]`, used
@@ -539,14 +607,20 @@ impl ParallelSweeper {
     /// order. This is the entry point for non-cartesian sweeps such as
     /// the preset registry.
     pub fn run_scenarios(&self, scenarios: &[Scenario]) -> SweepReport {
-        self.run_indexed(scenarios.len(), &|i| scenarios[i].clone())
+        self.run_indexed(0..scenarios.len(), &|i| scenarios[i].clone())
     }
 
-    fn run_indexed(&self, n: usize, cell_at: &(dyn Fn(usize) -> Scenario + Sync)) -> SweepReport {
+    fn run_indexed(
+        &self,
+        range: std::ops::Range<usize>,
+        cell_at: &(dyn Fn(usize) -> Scenario + Sync),
+    ) -> SweepReport {
+        let start = range.start;
+        let n = range.len();
         let workers = self.threads.min(n);
         if workers <= 1 {
             let mut buffer = RoundOutcome::default();
-            let rows = (0..n)
+            let rows = range
                 .map(|index| {
                     run_cell(
                         SweepCell {
@@ -568,10 +642,11 @@ impl ParallelSweeper {
                         let mut rows = Vec::new();
                         let mut buffer = RoundOutcome::default();
                         loop {
-                            let index = next.fetch_add(1, Ordering::Relaxed);
-                            if index >= n {
+                            let offset = next.fetch_add(1, Ordering::Relaxed);
+                            if offset >= n {
                                 break;
                             }
+                            let index = start + offset;
                             rows.push(run_cell(
                                 SweepCell {
                                     index,
@@ -594,7 +669,7 @@ impl ParallelSweeper {
         let mut slots: Vec<Option<SweepRow>> = (0..n).map(|_| None).collect();
         for rows in per_worker {
             for row in rows {
-                let slot = &mut slots[row.cell];
+                let slot = &mut slots[row.cell - start];
                 debug_assert!(slot.is_none(), "cell {} ran twice", row.cell);
                 *slot = Some(row);
             }
@@ -769,7 +844,7 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 5);
         assert!(lines[0].starts_with("cell,scenario,suite,faults,attacker,schedule,fuser,detector"));
-        assert!(lines[0].ends_with("above_rate,below_rate,preemptions,min_gap"));
+        assert!(lines[0].ends_with("vehicle_mean_widths,vehicle_max_widths,vehicle_truth_lost"));
         assert!(lines[1].contains("marzullo"));
         assert!(lines[2].contains("hull"));
         assert!(lines[1].contains("landshark"));
@@ -804,6 +879,75 @@ mod tests {
         assert_eq!(json.matches("\"cell\":").count(), 1);
         assert!(json.contains("\"fuser\":\"marzullo\""));
         assert!(json.contains("\"truth_lost\":"));
+    }
+
+    #[test]
+    fn cell_ranges_shard_the_grid_reproducibly() {
+        let grid = full_grid(20);
+        let full = grid.run_serial();
+        let sweeper = ParallelSweeper::new(3);
+        let a = sweeper.run_range(&grid, 0..17);
+        let b = sweeper.run_range(&grid, 17..48);
+        assert_eq!(a.len(), 17);
+        assert_eq!(b.len(), 31);
+        let mut concatenated = a.rows().to_vec();
+        concatenated.extend(b.rows().iter().cloned());
+        assert_eq!(
+            full.rows(),
+            &concatenated[..],
+            "concatenated shards must reproduce the full sweep"
+        );
+        // Rows keep their grid cell indices and derived seeds.
+        assert_eq!(b.rows()[0].cell, 17);
+        assert_eq!(b.rows()[0].seed, grid.scenario(17).seed);
+        // Degenerate shards are empty reports, not errors.
+        assert!(sweeper.run_range(&grid, 5..5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 48-cell grid")]
+    fn out_of_bounds_cell_range_panics() {
+        let grid = full_grid(5);
+        let _ = ParallelSweeper::new(1).run_range(&grid, 40..49);
+    }
+
+    #[test]
+    fn platoon_rows_emit_per_vehicle_columns() {
+        use crate::scenario::ClosedLoopSpec;
+        let base = Scenario::new("pv", SuiteSpec::Landshark)
+            .with_attacker(AttackerSpec::RandomEachRound)
+            .with_rounds(40)
+            .with_closed_loop(ClosedLoopSpec::new(10.0).with_platoon(2, 0.01));
+        let report = SweepGrid::new(base).run_serial();
+        let summary = &report.rows()[0].summary;
+        assert_eq!(summary.vehicles.len(), 2);
+        let csv = report.to_csv();
+        let line = csv.lines().nth(1).expect("data line");
+        let expected_means = format!(
+            "{}|{}",
+            summary.vehicles[0].widths.mean(),
+            summary.vehicles[1].widths.mean()
+        );
+        assert!(
+            line.ends_with(&format!(
+                ",{expected_means},{}|{},{}|{}",
+                summary.vehicles[0].widths.max().unwrap(),
+                summary.vehicles[1].widths.max().unwrap(),
+                summary.vehicles[0].truth_lost,
+                summary.vehicles[1].truth_lost
+            )),
+            "per-vehicle CSV columns malformed: {line}"
+        );
+        let json = report.to_json();
+        assert!(json.contains(&format!(
+            "\"vehicle_mean_widths\":[{}]",
+            expected_means.replace('|', ",")
+        )));
+        assert!(json.contains("\"vehicle_truth_lost\":["));
+        // Open-loop rows render the columns empty / as empty arrays.
+        let open = SweepGrid::new(attacked_base(10)).run_serial();
+        assert!(open.to_csv().lines().nth(1).unwrap().ends_with(",,,"));
+        assert!(open.to_json().contains("\"vehicle_mean_widths\":[]"));
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Property test for the un-panicked closed-loop scenario space: any
+//! closed-loop [`Scenario`] drawn over fusers × attackers (any strategy)
+//! × fault sets × schedules × platoon shapes passes
+//! [`Scenario::validate`], builds, and runs 50 rounds without panicking —
+//! the combinations that used to be rejected by
+//! `Scenario::landshark_config`'s asserts.
+
+use arsf_core::scenario::{
+    AttackerSpec, ClosedLoopSpec, FuserSpec, Scenario, StrategySpec, SuiteSpec,
+};
+use arsf_core::{DetectionMode, ScenarioRunner};
+use arsf_schedule::SchedulePolicy;
+use arsf_sensor::{FaultKind, FaultModel};
+use proptest::prelude::*;
+
+fn fuser_pool(i: usize) -> FuserSpec {
+    match i % 7 {
+        0 => FuserSpec::Marzullo,
+        1 => FuserSpec::BrooksIyengar,
+        2 => FuserSpec::Intersection,
+        3 => FuserSpec::Hull,
+        4 => FuserSpec::InverseVariance,
+        5 => FuserSpec::MidpointMedian,
+        _ => FuserSpec::Historical {
+            max_rate: 3.5,
+            dt: 0.1,
+        },
+    }
+}
+
+fn attacker_pool(i: usize) -> AttackerSpec {
+    let fixed = |sensors: Vec<usize>, strategy| AttackerSpec::Fixed { sensors, strategy };
+    match i % 6 {
+        0 => AttackerSpec::None,
+        1 => fixed(vec![0], StrategySpec::PhantomOptimal),
+        2 => fixed(vec![0], StrategySpec::GreedyHigh),
+        3 => fixed(vec![2], StrategySpec::GreedyLow),
+        4 => fixed(vec![1], StrategySpec::Truthful),
+        _ => AttackerSpec::RandomEachRound,
+    }
+}
+
+fn fault_set_pool(i: usize) -> Vec<(usize, FaultModel)> {
+    match i % 4 {
+        0 => vec![],
+        1 => vec![(2, FaultModel::new(FaultKind::Bias { offset: 3.0 }, 0.25))],
+        2 => vec![(3, FaultModel::new(FaultKind::Silent, 0.5))],
+        _ => vec![
+            (1, FaultModel::new(FaultKind::Scale { factor: 1.5 }, 0.4)),
+            (3, FaultModel::new(FaultKind::StuckAt { value: 12.0 }, 0.3)),
+        ],
+    }
+}
+
+fn schedule_pool(i: usize) -> SchedulePolicy {
+    match i % 3 {
+        0 => SchedulePolicy::Ascending,
+        1 => SchedulePolicy::Descending,
+        _ => SchedulePolicy::Random,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn any_closed_loop_combination_builds_and_runs_50_rounds(
+        fuser in 0usize..7,
+        attacker in 0usize..6,
+        faults in 0usize..4,
+        schedule in 0usize..3,
+        platoon in 0usize..2,
+        windowed in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let mut spec = ClosedLoopSpec::new(10.0);
+        if platoon == 1 {
+            spec = spec.with_platoon(3, 0.01);
+        }
+        let detector = if windowed == 1 {
+            DetectionMode::Windowed { window: 10, tolerance: 3 }
+        } else {
+            DetectionMode::Immediate
+        };
+        let mut scenario = Scenario::new("cl-grid", SuiteSpec::Landshark)
+            .with_fuser(fuser_pool(fuser))
+            .with_attacker(attacker_pool(attacker))
+            .with_schedule(schedule_pool(schedule))
+            .with_detector(detector)
+            .with_seed(seed)
+            .with_rounds(50)
+            .with_closed_loop(spec);
+        for (sensor, fault) in fault_set_pool(faults) {
+            scenario = scenario.with_fault(sensor, fault);
+        }
+
+        prop_assert!(
+            scenario.validate().is_ok(),
+            "every drawn combination is supported"
+        );
+        let summary = ScenarioRunner::try_new(&scenario)
+            .expect("validated scenarios build")
+            .run();
+        prop_assert_eq!(summary.rounds, 50);
+        prop_assert!(summary.supervisor.is_some(), "closed-loop summary");
+        if platoon == 1 {
+            prop_assert_eq!(summary.vehicles.len(), 3, "per-vehicle aggregates");
+            for vehicle in &summary.vehicles {
+                prop_assert_eq!(
+                    vehicle.widths.count() + vehicle.fusion_failures,
+                    50,
+                    "every control period accounted for"
+                );
+            }
+        } else {
+            prop_assert!(summary.vehicles.is_empty());
+        }
+    }
+}

@@ -84,7 +84,7 @@ fn assert_row_round_trips(
     json_object: &str,
 ) -> Result<(), TestCaseError> {
     let fields = split_csv(csv_line);
-    prop_assert_eq!(fields.len(), 22, "CSV column count: {}", csv_line);
+    prop_assert_eq!(fields.len(), 25, "CSV column count: {}", csv_line);
     let s = &row.summary;
     prop_assert_eq!(&fields[0], &format!("{}", row.cell));
     prop_assert_eq!(&fields[1], &s.scenario);
@@ -109,6 +109,26 @@ fn assert_row_round_trips(
     prop_assert_eq!(&fields[19], &below);
     prop_assert_eq!(&fields[20], &preempts);
     prop_assert_eq!(&fields[21], &gap);
+    // Per-vehicle columns: pipe-joined in CSV, arrays in JSON, leader
+    // first; empty for everything but closed-loop platoon rows.
+    let vehicle_means: Vec<String> = s
+        .vehicles
+        .iter()
+        .map(|v| format!("{}", v.widths.mean()))
+        .collect();
+    let vehicle_maxes_csv: Vec<String> = s
+        .vehicles
+        .iter()
+        .map(|v| v.widths.max().map_or(String::new(), |w| format!("{w}")))
+        .collect();
+    let vehicle_lost: Vec<String> = s
+        .vehicles
+        .iter()
+        .map(|v| format!("{}", v.truth_lost))
+        .collect();
+    prop_assert_eq!(&fields[22], &vehicle_means.join("|"));
+    prop_assert_eq!(&fields[23], &vehicle_maxes_csv.join("|"));
+    prop_assert_eq!(&fields[24], &vehicle_lost.join("|"));
 
     let null_or = |v: &str| {
         if v.is_empty() {
@@ -129,6 +149,19 @@ fn assert_row_round_trips(
         format!("\"below_rate\":{}", null_or(&below)),
         format!("\"preemptions\":{}", null_or(&preempts)),
         format!("\"min_gap\":{}", null_or(&gap)),
+        format!("\"vehicle_mean_widths\":[{}]", vehicle_means.join(",")),
+        format!(
+            "\"vehicle_max_widths\":[{}]",
+            s.vehicles
+                .iter()
+                .map(|v| v
+                    .widths
+                    .max()
+                    .map_or("null".to_string(), |w| format!("{w}")))
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+        format!("\"vehicle_truth_lost\":[{}]", vehicle_lost.join(",")),
     ] {
         prop_assert!(
             json_object.contains(&expected),

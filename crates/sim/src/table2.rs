@@ -18,7 +18,7 @@
 //! paper-facing [`Table2Row`]s. Any cell can be re-run in isolation via
 //! `sweep_grid(..).scenario(i)`.
 
-use arsf_core::scenario::{AttackerSpec, ClosedLoopSpec, Scenario, SuiteSpec};
+use arsf_core::scenario::{AttackerSpec, ClosedLoopSpec, FuserSpec, Scenario, SuiteSpec};
 use arsf_core::sweep::{ParallelSweeper, SweepGrid, SweepReport};
 use arsf_schedule::SchedulePolicy;
 
@@ -39,11 +39,16 @@ pub struct Table2Config {
     pub replicates: usize,
     /// Worker threads executing the grid.
     pub threads: usize,
+    /// Optional dynamics-aware historical-fusion defence: when set, every
+    /// cell fuses with the Historical fuser under this `max_rate` bound
+    /// (mph/s) instead of plain Marzullo — the follow-up defence's
+    /// Table II.
+    pub history: Option<f64>,
 }
 
 impl Default for Table2Config {
     /// The paper's parameters with 20 000 rounds, one replicate, serial
-    /// execution.
+    /// execution, memoryless (paper) fusion.
     fn default() -> Self {
         Self {
             rounds: 20_000,
@@ -53,6 +58,7 @@ impl Default for Table2Config {
             seed: 20140324,
             replicates: 1,
             threads: 1,
+            history: None,
         }
     }
 }
@@ -78,13 +84,17 @@ pub const SCHEDULES: [SchedulePolicy; 3] = [
 
 /// The closed-loop base scenario every Table II cell varies from.
 fn base_scenario(config: &Table2Config) -> Scenario {
-    Scenario::new("table2", SuiteSpec::Landshark)
+    let mut scenario = Scenario::new("table2", SuiteSpec::Landshark)
         .with_attacker(AttackerSpec::RandomEachRound)
         .with_rounds(config.rounds)
         .with_seed(config.seed)
         .with_closed_loop(
             ClosedLoopSpec::new(config.target).with_deltas(config.delta_up, config.delta_down),
-        )
+        );
+    if let Some(max_rate) = config.history {
+        scenario = scenario.with_fuser(FuserSpec::Historical { max_rate, dt: 0.1 });
+    }
+    scenario
 }
 
 /// The Table II sweep grid: `schedules × replicates` closed-loop cells
@@ -187,6 +197,22 @@ mod tests {
             row.below > 0.02,
             "descending must show below-violations, got {}",
             row.below
+        );
+    }
+
+    #[test]
+    fn historical_defence_cuts_descending_violations() {
+        let memoryless = run_schedule(SchedulePolicy::Descending, &quick());
+        let defended = run_schedule(
+            SchedulePolicy::Descending,
+            &Table2Config {
+                history: Some(3.5),
+                ..quick()
+            },
+        );
+        assert!(
+            defended.above + defended.below < memoryless.above + memoryless.below,
+            "history must clip forged extensions: {defended:?} vs {memoryless:?}"
         );
     }
 

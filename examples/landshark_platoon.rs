@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example landshark_platoon`
 
 use arsf::prelude::*;
-use arsf::sim::landshark::{AttackSelection, LandSharkConfig};
+use arsf::sim::landshark::LandSharkConfig;
 use arsf::sim::platoon::Platoon;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,8 +25,8 @@ fn main() {
         SchedulePolicy::Random,
     ] {
         let mut rng = StdRng::seed_from_u64(0xDA7E_2014);
-        let config = LandSharkConfig::new(10.0, policy.clone())
-            .with_attack(AttackSelection::RandomEachRound);
+        let config =
+            LandSharkConfig::new(10.0, policy.clone()).with_attacker(AttackerSpec::RandomEachRound);
         let mut platoon = Platoon::new(3, 0.01, config);
         let mut preempts = 0u64;
         for _ in 0..rounds {

@@ -1,8 +1,9 @@
 //! Cross-crate integration: a short Table II case-study run (the full
 //! 20k-round version is the `repro_table2` release binary).
 
+use arsf::core::scenario::AttackerSpec;
 use arsf::schedule::SchedulePolicy;
-use arsf::sim::landshark::{AttackSelection, LandShark, LandSharkConfig};
+use arsf::sim::landshark::{LandShark, LandSharkConfig};
 use arsf::sim::platoon::Platoon;
 use arsf::sim::table2::{run_schedule, Table2Config};
 use rand::rngs::StdRng;
@@ -51,7 +52,7 @@ fn descending_rates_are_roughly_symmetric() {
 fn platoon_under_attack_never_collides_with_ascending() {
     let mut rng = StdRng::seed_from_u64(1);
     let config = LandSharkConfig::new(10.0, SchedulePolicy::Ascending)
-        .with_attack(AttackSelection::RandomEachRound);
+        .with_attacker(AttackerSpec::RandomEachRound);
     let mut platoon = Platoon::new(3, 0.005, config);
     for _ in 0..400 {
         platoon.step(&mut rng);
@@ -67,8 +68,8 @@ fn single_vehicle_holds_speed_under_any_schedule() {
         SchedulePolicy::Random,
     ] {
         let mut rng = StdRng::seed_from_u64(2);
-        let config = LandSharkConfig::new(10.0, policy.clone())
-            .with_attack(AttackSelection::RandomEachRound);
+        let config =
+            LandSharkConfig::new(10.0, policy.clone()).with_attacker(AttackerSpec::RandomEachRound);
         let mut shark = LandShark::new(config);
         for _ in 0..500 {
             shark.step(&mut rng);

@@ -79,6 +79,9 @@ fn table2_grid_is_byte_identical_serial_vs_parallel() {
         "below_rate",
         "preemptions",
         "min_gap",
+        "vehicle_mean_widths",
+        "vehicle_max_widths",
+        "vehicle_truth_lost",
     ] {
         assert!(header.contains(column), "CSV header misses {column}");
     }
@@ -119,4 +122,62 @@ fn closed_loop_platoon_cells_report_gap_statistics() {
         (0.0, 0.0),
         "ascending neutralises single random attackers"
     );
+    // Every vehicle — not just the leader — carries fusion statistics.
+    assert_eq!(summary.vehicles.len(), 3, "one aggregate per vehicle");
+    for (i, vehicle) in summary.vehicles.iter().enumerate() {
+        assert_eq!(
+            vehicle.widths.count() + vehicle.fusion_failures,
+            300,
+            "vehicle {i} must account for every control period"
+        );
+    }
+    assert_eq!(
+        summary.vehicles[0].widths, summary.widths,
+        "the leader's aggregate is the summary's headline stats"
+    );
+}
+
+#[test]
+fn previously_panicking_closed_loop_combos_run_through_the_grid() {
+    // Regression (ISSUE 4): fault injection and non-phantom strategies
+    // used to panic in `Scenario::landshark_config`; a faulted, greedily
+    // attacked, Brooks–Iyengar-fused platoon now sweeps like any other
+    // cell — and stays byte-identical across thread counts.
+    use arsf::core::scenario::{AttackerSpec, ClosedLoopSpec, FuserSpec, Scenario, StrategySpec};
+    use arsf::core::sweep::SweepGrid;
+    use arsf::prelude::SuiteSpec;
+    use arsf::sensor::{FaultKind, FaultModel};
+
+    let base = Scenario::new("issue4", SuiteSpec::Landshark)
+        .with_fault(2, FaultModel::new(FaultKind::Bias { offset: 3.0 }, 0.25))
+        .with_rounds(150)
+        .with_closed_loop(ClosedLoopSpec::new(10.0).with_platoon(2, 0.01));
+    let grid = SweepGrid::new(base)
+        .attackers([
+            AttackerSpec::Fixed {
+                sensors: vec![0],
+                strategy: StrategySpec::GreedyHigh,
+            },
+            AttackerSpec::Fixed {
+                sensors: vec![1],
+                strategy: StrategySpec::Truthful,
+            },
+            AttackerSpec::RandomEachRound,
+        ])
+        .fusers([FuserSpec::Marzullo, FuserSpec::BrooksIyengar])
+        .schedules([SchedulePolicy::Ascending, SchedulePolicy::Descending]);
+    assert_eq!(grid.len(), 12);
+    for cell in grid.cells() {
+        cell.scenario.validate().expect("supported combination");
+    }
+    let serial = grid.run_serial();
+    let threaded = ParallelSweeper::new(4).run(&grid);
+    assert_eq!(serial, threaded, "4-worker report diverged");
+    assert_eq!(serial.to_csv(), threaded.to_csv(), "CSV bytes diverged");
+    assert_eq!(serial.to_json(), threaded.to_json(), "JSON bytes diverged");
+    for row in serial.rows() {
+        assert_eq!(row.summary.rounds, 150);
+        assert_eq!(row.summary.vehicles.len(), 2, "per-vehicle columns");
+        assert!(row.faults.contains("2:bias(3)@0.25"), "fault axis label");
+    }
 }
