@@ -48,6 +48,16 @@
 //! * `--rounds n` — rounds per cell (or per preset)
 //! * `--threads k` — worker threads (default: available parallelism)
 //! * `--csv path|-` / `--json path|-` — emit the report (`-` = stdout)
+//! * `--no-header` — omit the CSV header line, so `--cells` shard
+//!   outputs concatenate into the full sweep's CSV verbatim
+//! * `--baseline record|check` — grid mode only (and incompatible with
+//!   `--cells`): persist the report content-addressed under the
+//!   baseline directory, or diff it against the stored baseline and
+//!   exit 1 on drift; `check` honours `--tol col=abs[:rel],…` on top of
+//!   the near-exact default (see the `sweep_diff` binary for the
+//!   golden-grid workflow and the full tolerance semantics)
+//! * `--baseline-dir path` — the baseline directory (default
+//!   `baselines`)
 
 use std::process::exit;
 
@@ -59,6 +69,8 @@ use arsf_bench::{arg_value, has_flag, TextTable};
 use arsf_core::scenario::{
     registry, AttackerSpec, ClosedLoopSpec, FuserSpec, Scenario, StrategySpec, SuiteSpec,
 };
+use arsf_core::sweep::diff::{diff, DiffConfig};
+use arsf_core::sweep::store::Baseline;
 use arsf_core::sweep::{ParallelSweeper, SweepGrid, SweepReport};
 
 fn fail(message: &str) -> ! {
@@ -102,6 +114,20 @@ fn main() {
         || has_flag("--honest")
         || closed_loop;
 
+    let baseline_mode = arg_value("--baseline");
+    if let Some(mode) = &baseline_mode {
+        if !grid_mode {
+            fail("--baseline needs grid mode (pass at least one axis flag)");
+        }
+        if arg_value("--cells").is_some() {
+            fail("--baseline compares whole grids; drop --cells");
+        }
+        if !matches!(mode.as_str(), "record" | "check") {
+            fail("--baseline wants `record` or `check`");
+        }
+    }
+
+    let mut baseline_grid: Option<SweepGrid> = None;
     let report = if grid_mode {
         let suite = arg_value("--suite").map_or(SuiteSpec::Landshark, |s| parsed(parse_suite(&s)));
         // Open-loop grids default to the stealthy fixed attacker on the
@@ -179,6 +205,9 @@ fn main() {
         if let Some(spec) = arg_value("--seeds") {
             grid = grid.seeds(parsed(parse_u64_list(&spec)));
         }
+        if baseline_mode.is_some() {
+            baseline_grid = Some(grid.clone());
+        }
         match arg_value("--cells") {
             Some(spec) => {
                 let cells = parsed(parse_cells(&spec));
@@ -224,8 +253,38 @@ fn main() {
     };
 
     print_table(&report);
-    emit(&report, "--csv", SweepReport::to_csv);
+    if has_flag("--no-header") {
+        emit(&report, "--csv", SweepReport::to_csv_body);
+    } else {
+        emit(&report, "--csv", SweepReport::to_csv);
+    }
     emit(&report, "--json", SweepReport::to_json);
+
+    if let (Some(mode), Some(grid)) = (&baseline_mode, &baseline_grid) {
+        let dir = arg_value("--baseline-dir").unwrap_or_else(|| "baselines".to_string());
+        let current = Baseline::from_report(grid, &report);
+        match mode.as_str() {
+            "record" => match current.save(&dir) {
+                Ok(path) => println!("recorded baseline {}", path.display()),
+                Err(e) => fail(&format!("recording baseline: {e}")),
+            },
+            _ => {
+                let stored = Baseline::load_for_grid(&dir, grid)
+                    .unwrap_or_else(|e| fail(&format!("loading baseline: {e}")));
+                let mut config = DiffConfig::near_exact();
+                if let Some(spec) = arg_value("--tol") {
+                    for (column, tolerance) in parsed(arsf_bench::cli::parse_tolerances(&spec)) {
+                        config = config.with_column(column, tolerance);
+                    }
+                }
+                let result = diff(&stored, &current, &config);
+                print!("{}", result.render());
+                if !result.is_empty() {
+                    exit(1);
+                }
+            }
+        }
+    }
 
     if !grid_mode {
         println!("Marzullo/Brooks–Iyengar keep the truth under attack (fa <= f);");

@@ -1,0 +1,165 @@
+//! Regression-baseline tool for sweep reports: record the golden grids'
+//! reports content-addressed under a baseline directory, re-run and
+//! check them cell by cell, or diff two stored baseline files.
+//!
+//! Run with: `cargo run --release -p arsf-bench --bin sweep_diff -- <cmd>`
+//!
+//! Subcommands:
+//! * `record` — run the golden grid(s) and write
+//!   `<dir>/<content-address>.json` for each (overwrites the grid's own
+//!   file only; other addresses are untouched). Re-record after an
+//!   *intentional* algorithm change.
+//! * `check` — run the golden grid(s) and diff each against its stored
+//!   baseline; exits 1 when any cell drifts out of tolerance (or a
+//!   baseline is missing), printing every drifted cell's grid index,
+//!   column, baseline value and new value.
+//! * `diff <a.json> <b.json>` — compare two baseline files directly.
+//!
+//! Options:
+//! * `--grid name` — restrict record/check to one golden grid
+//!   (`open-loop-48`, `table2-closed-loop`; default: all)
+//! * `--dir path` — the baseline directory (default `baselines`)
+//! * `--threads k` — worker threads (default: available parallelism;
+//!   the report is byte-identical at any thread count)
+//! * `--tol col=abs[:rel],…` — per-column tolerances (column families
+//!   may be named without an index, e.g. `vehicle_mean_widths=1e-9`).
+//!   Columns without an entry use the near-exact default
+//!   (abs/rel `1e-12`, absorbing last-ulp libm variation across
+//!   platforms while failing any real drift)
+
+use std::process::exit;
+
+use arsf_bench::cli::parse_tolerances;
+use arsf_bench::{arg_value, golden};
+use arsf_core::sweep::diff::{diff, DiffConfig, SweepDiff};
+use arsf_core::sweep::store::{baseline_path, grid_address, Baseline, StoreError};
+use arsf_core::sweep::{ParallelSweeper, SweepGrid};
+
+fn fail(message: &str) -> ! {
+    eprintln!("sweep_diff: {message}");
+    exit(2);
+}
+
+fn sweeper() -> ParallelSweeper {
+    match arg_value("--threads").map(|s| s.parse::<usize>()) {
+        None => ParallelSweeper::auto(),
+        Some(Ok(threads)) if threads > 0 => ParallelSweeper::new(threads),
+        Some(_) => fail("--threads wants a positive integer"),
+    }
+}
+
+fn diff_config() -> DiffConfig {
+    // Near-exact default: absorbs last-ulp libm differences between the
+    // recording and checking platforms, far below any real drift.
+    let mut config = DiffConfig::near_exact();
+    if let Some(spec) = arg_value("--tol") {
+        for (column, tolerance) in
+            parse_tolerances(&spec).unwrap_or_else(|e| fail(&format!("--tol: {e}")))
+        {
+            config = config.with_column(column, tolerance);
+        }
+    }
+    config
+}
+
+fn grids() -> Vec<(&'static str, SweepGrid)> {
+    match arg_value("--grid") {
+        None => golden::all(),
+        Some(name) => {
+            let grid = golden::find(&name).unwrap_or_else(|| {
+                let known: Vec<&str> = golden::all().iter().map(|(n, _)| *n).collect();
+                fail(&format!(
+                    "unknown golden grid `{name}` (known: {})",
+                    known.join(", ")
+                ))
+            });
+            let leaked: &'static str = Box::leak(name.into_boxed_str());
+            vec![(leaked, grid)]
+        }
+    }
+}
+
+fn run_baseline(grid: &SweepGrid, sweeper: &ParallelSweeper) -> Baseline {
+    Baseline::from_report(grid, &sweeper.run(grid))
+}
+
+fn record(dir: &str) {
+    let sweeper = sweeper();
+    for (name, grid) in grids() {
+        let baseline = run_baseline(&grid, &sweeper);
+        match baseline.save(dir) {
+            Ok(path) => println!(
+                "recorded {name}: {} cells -> {}",
+                baseline.rows.len(),
+                path.display()
+            ),
+            Err(e) => fail(&format!("recording {name}: {e}")),
+        }
+    }
+}
+
+fn check(dir: &str) {
+    let sweeper = sweeper();
+    let config = diff_config();
+    let mut failed = false;
+    for (name, grid) in grids() {
+        let stored = match Baseline::load_for_grid(dir, &grid) {
+            Ok(stored) => stored,
+            Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                eprintln!(
+                    "{name}: no baseline at {} — run `sweep_diff record` first",
+                    baseline_path(dir, &grid_address(&grid)).display()
+                );
+                failed = true;
+                continue;
+            }
+            Err(e) => fail(&format!("loading {name}: {e}")),
+        };
+        let current = run_baseline(&grid, &sweeper);
+        let result = diff(&stored, &current, &config);
+        print!("{name}: {}", result.render());
+        failed |= !result.is_empty();
+    }
+    exit(i32::from(failed));
+}
+
+fn diff_files(a: &str, b: &str) {
+    let load =
+        |path: &str| Baseline::load(path).unwrap_or_else(|e| fail(&format!("loading {path}: {e}")));
+    let result: SweepDiff = diff(&load(a), &load(b), &diff_config());
+    print!("{}", result.render());
+    exit(i32::from(!result.is_empty()));
+}
+
+fn main() {
+    let dir = arg_value("--dir").unwrap_or_else(|| "baselines".to_string());
+    let positional: Vec<String> = {
+        // Everything after the program name that is neither a flag nor a
+        // flag's value.
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut positional = Vec::new();
+        let mut skip = false;
+        for arg in &args {
+            if skip {
+                skip = false;
+            } else if arg.starts_with("--") {
+                skip = true; // all our flags take a value
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        positional
+    };
+    match positional.first().map(String::as_str) {
+        Some("record") => record(&dir),
+        Some("check") => check(&dir),
+        Some("diff") => match (positional.get(1), positional.get(2)) {
+            (Some(a), Some(b)) => diff_files(a, b),
+            _ => fail("diff wants two baseline files: sweep_diff diff a.json b.json"),
+        },
+        _ => fail(
+            "usage: sweep_diff <record|check|diff a.json b.json> \
+             [--grid name] [--dir path] [--threads k] [--tol col=abs[:rel],…]",
+        ),
+    }
+}

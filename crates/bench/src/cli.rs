@@ -7,6 +7,7 @@
 //! non-empty-axis assertion downstream.
 
 use arsf_core::scenario::{FuserSpec, StrategySpec, SuiteSpec};
+use arsf_core::sweep::diff::Tolerance;
 use arsf_core::DetectionMode;
 use arsf_schedule::SchedulePolicy;
 use arsf_sensor::{FaultKind, FaultModel};
@@ -221,6 +222,45 @@ pub fn parse_fault(spec: &str) -> Result<(usize, FaultModel), String> {
         other => return Err(format!("unknown fault kind `{other}`")),
     };
     Ok((sensor, FaultModel::new(kind, probability)))
+}
+
+/// Parses a per-column tolerance list for baseline diffing, e.g.
+/// `mean_width=1e-9:1e-6,above_rate=0.005` — each entry is
+/// `column=abs[:rel]` (`rel` defaults to 0). A column family can be
+/// named without its index (`vehicle_mean_widths` covers
+/// `vehicle_mean_widths[0]`, `[1]`, …).
+///
+/// # Errors
+///
+/// Returns a message naming the malformed entry.
+pub fn parse_tolerances(spec: &str) -> Result<Vec<(String, Tolerance)>, String> {
+    let parse_component = |token: &str, entry: &str| {
+        token
+            .trim()
+            .parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite() && *v >= 0.0)
+            .ok_or_else(|| format!("bad tolerance `{}` in `{entry}`", token.trim()))
+    };
+    spec.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(|entry| {
+            let (column, tols) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("expected column=abs[:rel], got `{entry}`"))?;
+            let column = column.trim();
+            if column.is_empty() {
+                return Err(format!("empty column name in `{entry}`"));
+            }
+            let (abs, rel) = match tols.split_once(':') {
+                Some((abs, rel)) => (parse_component(abs, entry)?, parse_component(rel, entry)?),
+                None => (parse_component(tols, entry)?, 0.0),
+            };
+            Ok((column.to_string(), Tolerance::new(abs, rel)))
+        })
+        .collect::<Result<Vec<_>, String>>()
+        .and_then(|v| non_empty("tolerance", v))
 }
 
 /// Parses an attack strategy name (`phantom-optimal`, `greedy-high`,
@@ -458,6 +498,20 @@ mod tests {
         assert!(parse_fault("2:flicker:1").is_err());
         assert!(parse_fault("2:bias:3:1.5").is_err(), "probability > 1");
         assert!(parse_fault("x:bias:3:0.5").is_err());
+    }
+
+    #[test]
+    fn tolerances_parse_abs_and_optional_rel() {
+        let tols = parse_tolerances("mean_width=1e-9:1e-6, above_rate=0.005").unwrap();
+        assert_eq!(tols.len(), 2);
+        assert_eq!(tols[0].0, "mean_width");
+        assert_eq!(tols[0].1, Tolerance::new(1e-9, 1e-6));
+        assert_eq!(tols[1].1, Tolerance::new(0.005, 0.0));
+        assert!(parse_tolerances("mean_width").is_err(), "missing `=`");
+        assert!(parse_tolerances("=0.1").is_err(), "empty column");
+        assert!(parse_tolerances("w=-1").is_err(), "negative tolerance");
+        assert!(parse_tolerances("w=x").is_err());
+        assert!(parse_tolerances(",").unwrap_err().contains("empty"));
     }
 
     #[test]

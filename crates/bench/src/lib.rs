@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod golden;
 
 /// A minimal fixed-width text table writer for experiment output.
 ///

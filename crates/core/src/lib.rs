@@ -25,7 +25,10 @@
 //!   outcome buffers, with [`BatchSummary`] aggregation,
 //! * [`sweep`] — cartesian scenario grids ([`SweepGrid`]) executed
 //!   serially or across scoped worker threads ([`ParallelSweeper`]) into
-//!   deterministic, grid-ordered [`SweepReport`]s with CSV/JSON emission,
+//!   deterministic, grid-ordered [`SweepReport`]s with CSV/JSON emission;
+//!   [`sweep::store`] persists reports content-addressed by their grid
+//!   definition and [`sweep::diff`] compares two stored reports cell by
+//!   cell under per-column tolerances (the regression-baseline harness),
 //! * [`metrics`] — violation counters and width statistics used by the
 //!   experiment harnesses,
 //! * [`transport`] — the same round executed over the `arsf-bus`

@@ -854,6 +854,21 @@ pub fn registry() -> Vec<Scenario> {
                 dt: 0.1,
             })
             .with_closed_loop(ClosedLoopSpec::new(10.0).with_platoon(3, 0.01)),
+        // Regression-baseline base scenarios: the golden grids CI's
+        // `baseline-check` job re-runs are built around these two (see
+        // `arsf_bench::golden`), so their axes are part of the committed
+        // baselines' content addresses — change them and the baselines
+        // must be re-recorded.
+        Scenario::new("baseline-open-loop", SuiteSpec::Landshark)
+            .with_attacker(AttackerSpec::Fixed {
+                sensors: vec![0],
+                strategy: StrategySpec::PhantomOptimal,
+            })
+            .with_rounds(120),
+        Scenario::new("baseline-table2", SuiteSpec::Landshark)
+            .with_attacker(AttackerSpec::RandomEachRound)
+            .with_rounds(200)
+            .with_closed_loop(ClosedLoopSpec::new(10.0)),
     ]
 }
 

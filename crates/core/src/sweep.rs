@@ -49,6 +49,9 @@
 //! assert_eq!(serial.to_csv(), parallel.to_csv());
 //! ```
 
+pub mod diff;
+pub mod store;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
@@ -368,6 +371,16 @@ impl SweepReport {
         self.rows.is_empty()
     }
 
+    /// The CSV header line [`SweepReport::to_csv`] emits (trailing
+    /// newline included).
+    pub fn csv_header() -> &'static str {
+        "cell,scenario,suite,faults,attacker,schedule,fuser,detector,rounds,seed,\
+         mean_width,min_width,max_width,truth_lost,truth_loss_rate,\
+         fusion_failures,flagged_rounds,condemned,\
+         above_rate,below_rate,preemptions,min_gap,\
+         vehicle_mean_widths,vehicle_max_widths,vehicle_truth_lost\n"
+    }
+
     /// Renders the report as CSV (header + one line per cell). Fields
     /// containing separators are quoted; floats use Rust's shortest
     /// round-trip formatting, so equal reports render byte-identically.
@@ -377,13 +390,16 @@ impl SweepReport {
     /// `vehicle_truth_lost` — pipe-joined, leader first) are empty for
     /// everything but closed-loop platoon rows.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "cell,scenario,suite,faults,attacker,schedule,fuser,detector,rounds,seed,\
-             mean_width,min_width,max_width,truth_lost,truth_loss_rate,\
-             fusion_failures,flagged_rounds,condemned,\
-             above_rate,below_rate,preemptions,min_gap,\
-             vehicle_mean_widths,vehicle_max_widths,vehicle_truth_lost\n",
-        );
+        let mut out = String::from(Self::csv_header());
+        out.push_str(&self.to_csv_body());
+        out
+    }
+
+    /// [`SweepReport::to_csv`] without the header line — the shape
+    /// `--cells` shard outputs use so they concatenate into the full
+    /// sweep's CSV without manual header stripping.
+    pub fn to_csv_body(&self) -> String {
+        let mut out = String::new();
         for row in &self.rows {
             let s = &row.summary;
             let condemned: Vec<String> = s.condemned.iter().map(|c| format!("{c}")).collect();
@@ -858,6 +874,16 @@ mod tests {
             "faulty cell carries its fault-set label: {}",
             lines[3]
         );
+    }
+
+    #[test]
+    fn csv_body_is_the_report_without_the_header() {
+        let report = SweepGrid::new(attacked_base(10)).run_serial();
+        assert_eq!(
+            report.to_csv(),
+            format!("{}{}", SweepReport::csv_header(), report.to_csv_body())
+        );
+        assert!(!report.to_csv_body().contains("cell,scenario"));
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Property tests for the regression-baseline subsystem: a report never
+//! drifts from itself (open- and closed-loop, through the JSON round
+//! trip), a single perturbed cell is flagged with the right grid index
+//! and column, and the content address is invariant under
+//! axis-irrelevant formatting but moves when any axis changes.
+
+use arsf_core::scenario::{
+    AttackerSpec, ClosedLoopSpec, FuserSpec, Scenario, StrategySpec, SuiteSpec,
+};
+use arsf_core::sweep::diff::{diff, DiffConfig, Drift, Tolerance};
+use arsf_core::sweep::store::{grid_address, Baseline};
+use arsf_core::sweep::SweepGrid;
+use arsf_core::DetectionMode;
+use arsf_schedule::SchedulePolicy;
+use arsf_sensor::{FaultKind, FaultModel};
+use proptest::prelude::*;
+
+fn schedule_pool(i: usize) -> SchedulePolicy {
+    match i % 3 {
+        0 => SchedulePolicy::Ascending,
+        1 => SchedulePolicy::Descending,
+        _ => SchedulePolicy::Random,
+    }
+}
+
+fn fuser_pool(i: usize) -> FuserSpec {
+    match i % 4 {
+        0 => FuserSpec::Marzullo,
+        1 => FuserSpec::BrooksIyengar,
+        2 => FuserSpec::Hull,
+        _ => FuserSpec::Historical {
+            max_rate: 3.5,
+            dt: 0.1,
+        },
+    }
+}
+
+fn fault_set_pool(i: usize) -> Vec<(usize, FaultModel)> {
+    match i % 3 {
+        0 => vec![],
+        1 => vec![(2, FaultModel::new(FaultKind::Bias { offset: 3.0 }, 0.25))],
+        _ => vec![(1, FaultModel::new(FaultKind::Silent, 0.5))],
+    }
+}
+
+fn attacker_pool(i: usize) -> AttackerSpec {
+    match i % 3 {
+        0 => AttackerSpec::None,
+        1 => AttackerSpec::Fixed {
+            sensors: vec![0],
+            strategy: StrategySpec::PhantomOptimal,
+        },
+        _ => AttackerSpec::RandomEachRound,
+    }
+}
+
+fn open_grid(
+    name: &str,
+    fusers: &[usize],
+    fault_sets: &[usize],
+    attackers: &[usize],
+    schedule: usize,
+    seeds: Vec<u64>,
+    rounds: u64,
+) -> SweepGrid {
+    let base = Scenario::new(name, SuiteSpec::Landshark).with_rounds(rounds);
+    SweepGrid::new(base)
+        .fusers(fusers.iter().map(|&i| fuser_pool(i)))
+        .fault_sets(fault_sets.iter().map(|&i| fault_set_pool(i)))
+        .attackers(attackers.iter().map(|&i| attacker_pool(i)))
+        .schedules([schedule_pool(schedule)])
+        .seeds(seeds)
+}
+
+fn closed_grid(
+    name: &str,
+    platoon: bool,
+    schedule: usize,
+    seeds: Vec<u64>,
+    rounds: u64,
+) -> SweepGrid {
+    let mut spec = ClosedLoopSpec::new(10.0);
+    if platoon {
+        spec = spec.with_platoon(2, 0.01);
+    }
+    let base = Scenario::new(name, SuiteSpec::Landshark)
+        .with_attacker(AttackerSpec::RandomEachRound)
+        .with_rounds(rounds)
+        .with_closed_loop(spec);
+    SweepGrid::new(base)
+        .schedules([schedule_pool(schedule)])
+        .seeds(seeds)
+}
+
+/// Records a grid and asserts the self-diff is empty, both directly and
+/// after a JSON round trip.
+fn assert_self_diff_empty(grid: &SweepGrid) -> Result<(), TestCaseError> {
+    let baseline = Baseline::from_report(grid, &grid.run_serial());
+    let direct = diff(&baseline, &baseline, &DiffConfig::default());
+    prop_assert!(direct.is_empty(), "self-diff drifted: {}", direct.render());
+    prop_assert_eq!(direct.cells_compared(), grid.len());
+    let reloaded = Baseline::from_json(&baseline.to_json())
+        .map_err(|e| TestCaseError::fail(format!("round trip failed: {e}")))?;
+    let through_json = diff(&baseline, &reloaded, &DiffConfig::default());
+    prop_assert!(
+        through_json.is_empty(),
+        "JSON round trip drifted: {}",
+        through_json.render()
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn open_loop_reports_never_drift_from_themselves(
+        fusers in prop::collection::vec(0usize..4, 1..=2),
+        fault_sets in prop::collection::vec(0usize..3, 1..=2),
+        attackers in prop::collection::vec(0usize..3, 1..=2),
+        schedule in 0usize..3,
+        seeds in prop::collection::vec(0u64..1000, 1..=2),
+        rounds in 3u64..10,
+    ) {
+        let grid = open_grid("prop", &fusers, &fault_sets, &attackers, schedule, seeds, rounds);
+        assert_self_diff_empty(&grid)?;
+    }
+
+    #[test]
+    fn closed_loop_reports_never_drift_from_themselves(
+        platoon in 0usize..2,
+        schedule in 0usize..3,
+        seeds in prop::collection::vec(0u64..1000, 1..=2),
+        rounds in 3u64..10,
+    ) {
+        let grid = closed_grid("prop-cl", platoon == 1, schedule, seeds, rounds);
+        assert_self_diff_empty(&grid)?;
+    }
+
+    #[test]
+    fn one_perturbed_cell_is_flagged_with_its_index_and_column(
+        schedule in 0usize..3,
+        seeds in prop::collection::vec(0u64..1000, 2..=3),
+        rounds in 5u64..12,
+        victim_selector in 0usize..1000,
+        column_selector in 0usize..3,
+        nudge in 0.5f64..10.0,
+    ) {
+        let grid = open_grid(
+            "perturb",
+            &[0, 1],
+            &[0],
+            &[1],
+            schedule,
+            seeds,
+            rounds,
+        );
+        let baseline = Baseline::from_report(&grid, &grid.run_serial());
+        let victim = victim_selector % baseline.rows.len();
+        let column = ["mean_width", "max_width", "truth_loss_rate"][column_selector];
+        let mut perturbed = baseline.clone();
+        {
+            let slot = perturbed.rows[victim]
+                .metrics
+                .iter_mut()
+                .find(|(name, _)| name == column)
+                .expect("metric exists");
+            slot.1 = Some(slot.1.unwrap_or(0.0) + nudge);
+        }
+        // Under a tolerance smaller than the nudge the drift is flagged…
+        let config = DiffConfig::default()
+            .with_default(Tolerance::new(0.25, 0.0));
+        let result = diff(&baseline, &perturbed, &config);
+        prop_assert_eq!(result.len(), 1, "{}", result.render());
+        let expected_cell = baseline.rows[victim].cell;
+        match &result.drifts()[0] {
+            Drift::Value { cell, column: col, baseline: b, current: c } => {
+                prop_assert_eq!(*cell, expected_cell, "wrong grid index");
+                prop_assert_eq!(col.as_str(), column, "wrong column");
+                prop_assert!(c.unwrap() > b.unwrap_or(0.0), "direction preserved");
+            }
+            other => return Err(TestCaseError::fail(format!("expected a value drift, got {other:?}"))),
+        }
+        let rendered = result.render();
+        prop_assert!(rendered.contains(&format!("cell {expected_cell} `{column}`")), "{}", rendered);
+        // …and a tolerance beyond the nudge silences exactly it.
+        let lax = DiffConfig::default().with_default(Tolerance::new(nudge + 0.5, 0.0));
+        prop_assert!(diff(&baseline, &perturbed, &lax).is_empty());
+    }
+
+    #[test]
+    fn content_address_ignores_names_but_tracks_axes(
+        fusers in prop::collection::vec(0usize..4, 1..=2),
+        schedule in 0usize..3,
+        seeds in prop::collection::vec(0u64..1000, 1..=2),
+        rounds in 3u64..10,
+        name_a in 0usize..4,
+        name_b in 0usize..4,
+    ) {
+        let names = ["grid", "renamed", "x", "a-much-longer-grid-name"];
+        let (name_a, name_b) = (names[name_a], names[name_b]);
+        let build = |name: &str| {
+            open_grid(name, &fusers, &[0], &[1], schedule, seeds.clone(), rounds)
+        };
+        // Axis-irrelevant formatting: the base scenario's name.
+        prop_assert_eq!(grid_address(&build(name_a)), grid_address(&build(name_b)));
+        let address = grid_address(&build(name_a));
+        // Any axis change moves the address.
+        let more_seeds = build(name_a).seeds(seeds.iter().copied().chain([9999]));
+        prop_assert_ne!(address.clone(), grid_address(&more_seeds));
+        let other_rounds = open_grid(name_a, &fusers, &[0], &[1], schedule, seeds.clone(), rounds + 1);
+        prop_assert_ne!(address.clone(), grid_address(&other_rounds));
+        let other_schedule = build(name_a).schedules([schedule_pool(schedule + 1)]);
+        prop_assert_ne!(address.clone(), grid_address(&other_schedule));
+        let other_detector = build(name_a).detectors([DetectionMode::Off]);
+        prop_assert_ne!(address.clone(), grid_address(&other_detector));
+        let other_faults = build(name_a).fault_sets([fault_set_pool(1)]);
+        prop_assert_ne!(address.clone(), grid_address(&other_faults));
+    }
+}
