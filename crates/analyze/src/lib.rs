@@ -1,0 +1,389 @@
+//! Static analysis over ARSF experiment definitions.
+//!
+//! The paper's guarantees only hold under *structural* preconditions —
+//! Marzullo/Brooks–Iyengar containment needs `n > 2f`, the attacker must
+//! stay within the corruption budget, and the closed-loop envelope needs
+//! `δ1 ≤ δ2` — yet scenarios, sweep grids and golden baselines are plain
+//! data that can silently violate them. This crate checks the data
+//! *before* anything runs:
+//!
+//! * [`analyze_scenario`] lints one [`Scenario`] (presets, grid cells);
+//! * [`analyze_grid`] lints a whole [`SweepGrid`] — axis-level checks
+//!   plus per-cell scenario lints over the axis combinations that can
+//!   actually differ, each finding pointed at a representative cell
+//!   (also available as [`SweepGrid::analyze`](AnalyzeGrid::analyze));
+//! * [`analyze_baseline_file`] / [`analyze_baseline_dir`] lint persisted
+//!   [`Baseline`](arsf_core::sweep::store::Baseline)s — recomputed
+//!   content addresses, orphaned files, missing recordings — and
+//!   [`tolerance_findings`] flags check-harness tolerances that match no
+//!   column anywhere.
+//!
+//! # Lints and severities
+//!
+//! Every check is a [`Lint`]: an object-safe rule with an id, a fixed
+//! [`Severity`] and typed [`Finding`]s carrying a [`Location`]. The
+//! built-in rules live in [`registry`]; pass drivers add a few findings
+//! the trait cannot express (`baseline-parse`, `baseline-io`,
+//! `baseline-orphan`, `baseline-missing`, `tolerance-dead`) because they
+//! concern files or cross-file context rather than one parsed value.
+//!
+//! [`Severity::Error`] marks definitions the engines reject or the
+//! paper's theorems void outright; [`Severity::Warn`] marks degenerate
+//! but runnable definitions; [`Severity::Info`] marks worst-case
+//! pessimism worth knowing about. [`exit_code`] maps a finding set to
+//! the `sweep_lint` process convention: `2` if any error, `1` if any
+//! warning, else `0` (info findings alone are clean).
+//!
+//! # Example
+//!
+//! ```
+//! use arsf_analyze::{analyze_grid, exit_code, Severity};
+//! use arsf_core::scenario::{Scenario, SuiteSpec};
+//! use arsf_core::sweep::SweepGrid;
+//!
+//! // n = 3 sensors with f = 2 violates the n > 2f soundness bound.
+//! let base = Scenario::new("unsound", SuiteSpec::Widths(vec![1.0, 2.0, 3.0])).with_f(2);
+//! let findings = analyze_grid(&SweepGrid::new(base));
+//! assert!(findings.iter().any(|f| f.lint == "fusion-soundness"));
+//! assert_eq!(exit_code(&findings), 2);
+//! assert_eq!(findings[0].severity, Severity::Error);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod baseline;
+mod grid;
+mod lints;
+
+use std::fmt;
+use std::path::PathBuf;
+
+use arsf_core::scenario::Scenario;
+
+pub use baseline::{
+    analyze_baseline_dir, analyze_baseline_file, tolerance_findings, BaselineContext,
+};
+pub use grid::{analyze_grid, AnalyzeGrid};
+
+/// How bad a finding is.
+///
+/// Ordered: `Info < Warn < Error`, so `findings.iter().map(|f|
+/// f.severity).max()` is the overall verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Worth knowing, but sound and runnable; never fails a lint run.
+    Info,
+    /// Degenerate or wasteful, but the engines will execute it.
+    Warn,
+    /// The engines reject it, or the paper's guarantees are void.
+    Error,
+}
+
+impl Severity {
+    /// The renderer's lowercase tag: `error`, `warning` or `info`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Where a finding points: the preset, grid cell, axis value, file or
+/// tolerance column it is about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Location {
+    /// A named scenario (a registry preset or a stand-alone definition).
+    Scenario {
+        /// The scenario's name.
+        name: String,
+    },
+    /// One grid cell, by grid-order index.
+    Cell {
+        /// The cell index (`SweepGrid::scenario(cell)` reproduces it).
+        cell: usize,
+    },
+    /// One or more positions on a named grid axis.
+    Axis {
+        /// The axis name (`suites`, `fusers`, `seeds`, …).
+        axis: &'static str,
+        /// The offending indices within the axis.
+        indices: Vec<usize>,
+    },
+    /// A file on disk (a baseline, or the baseline directory itself).
+    File {
+        /// The path as given to the pass driver.
+        path: PathBuf,
+    },
+    /// A golden grid known to the harness (used when its baseline file
+    /// is missing, so there is no file to point at).
+    Grid {
+        /// The golden grid's registry name.
+        name: String,
+    },
+    /// A tolerance column in a check-harness configuration.
+    Column {
+        /// The configured column or family name.
+        column: String,
+    },
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Scenario { name } => write!(f, "scenario `{name}`"),
+            Location::Cell { cell } => write!(f, "cell {cell}"),
+            Location::Axis { axis, indices } => {
+                let ids: Vec<String> = indices.iter().map(|i| i.to_string()).collect();
+                write!(f, "{axis} axis [{}]", ids.join(", "))
+            }
+            Location::File { path } => write!(f, "{}", path.display()),
+            Location::Grid { name } => write!(f, "golden grid `{name}`"),
+            Location::Column { column } => write!(f, "tolerance `{column}`"),
+        }
+    }
+}
+
+/// One problem a lint found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// The id of the lint (or pass-driver rule) that produced it.
+    pub lint: &'static str,
+    /// The finding's severity.
+    pub severity: Severity,
+    /// What the finding is about.
+    pub location: Location,
+    /// Human-readable explanation, self-contained (no context needed).
+    pub message: String,
+}
+
+impl Finding {
+    /// Renders the finding as one `severity[lint] location: message`
+    /// line.
+    pub fn render(&self) -> String {
+        format!(
+            "{}[{}] {}: {}",
+            self.severity.label(),
+            self.lint,
+            self.location,
+            self.message
+        )
+    }
+}
+
+/// An object-safe static-analysis rule.
+///
+/// A lint declares an id and a fixed severity, then overrides whichever
+/// `check_*` hooks apply to it — the default implementations are no-ops,
+/// so a scenario-only lint ignores grids and baselines for free. Hooks
+/// push [`Finding`]s carrying the lint's own id and severity.
+pub trait Lint {
+    /// Stable kebab-case identifier, e.g. `fusion-soundness`.
+    fn id(&self) -> &'static str;
+    /// The severity of every finding this lint produces.
+    fn severity(&self) -> Severity;
+    /// One sentence describing what the lint rejects.
+    fn description(&self) -> &'static str;
+
+    /// Checks one scenario (a preset or a materialised grid cell).
+    fn check_scenario(&self, scenario: &Scenario, out: &mut Vec<Finding>) {
+        let _ = (scenario, out);
+    }
+
+    /// Checks grid-level structure (axis values, seed derivation).
+    fn check_grid(&self, grid: &arsf_core::sweep::SweepGrid, out: &mut Vec<Finding>) {
+        let _ = (grid, out);
+    }
+
+    /// Checks one successfully parsed baseline file.
+    fn check_baseline(&self, baseline: &BaselineContext<'_>, out: &mut Vec<Finding>) {
+        let _ = (baseline, out);
+    }
+}
+
+/// All built-in lints, in deterministic order.
+pub fn registry() -> Vec<Box<dyn Lint>> {
+    lints::all()
+}
+
+/// Runs every registered lint over one scenario.
+///
+/// Findings come back sorted most-severe-first (stable within a
+/// severity, so the registry order breaks ties).
+pub fn analyze_scenario(scenario: &Scenario) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for lint in registry() {
+        lint.check_scenario(scenario, &mut findings);
+    }
+    sort_findings(&mut findings);
+    findings
+}
+
+/// Stable-sorts findings most-severe-first.
+pub(crate) fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
+}
+
+/// The `sweep_lint` process exit code for a finding set: `2` if any
+/// [`Severity::Error`], else `1` if any [`Severity::Warn`], else `0`
+/// ([`Severity::Info`] findings alone are clean).
+pub fn exit_code(findings: &[Finding]) -> i32 {
+    match findings.iter().map(|f| f.severity).max() {
+        Some(Severity::Error) => 2,
+        Some(Severity::Warn) => 1,
+        _ => 0,
+    }
+}
+
+/// Renders findings for humans: one line per finding plus a summary
+/// tail (`clean` when there are none).
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut notes = 0usize;
+    for finding in findings {
+        match finding.severity {
+            Severity::Error => errors += 1,
+            Severity::Warn => warnings += 1,
+            Severity::Info => notes += 1,
+        }
+        out.push_str(&finding.render());
+        out.push('\n');
+    }
+    if findings.is_empty() {
+        out.push_str("clean: no findings\n");
+    } else {
+        out.push_str(&format!(
+            "{errors} error(s), {warnings} warning(s), {notes} note(s)\n"
+        ));
+    }
+    out
+}
+
+/// Renders findings as a JSON array (dependency-free; locations are
+/// pre-rendered strings, matching the human renderer).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[\n");
+    for (i, finding) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"lint\": {}, \"severity\": {}, \"location\": {}, \"message\": {}}}{}\n",
+            json_string(finding.lint),
+            json_string(finding.severity.label()),
+            json_string(&finding.location.to_string()),
+            json_string(&finding.message),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Minimal JSON string escaping (the same subset the baseline store
+/// emits: quotes, backslashes and control characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(severity: Severity) -> Finding {
+        Finding {
+            lint: "test-lint",
+            severity,
+            location: Location::Cell { cell: 3 },
+            message: "something".to_string(),
+        }
+    }
+
+    #[test]
+    fn severity_orders_info_warn_error() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+    }
+
+    #[test]
+    fn exit_code_maps_severities_to_the_process_convention() {
+        assert_eq!(exit_code(&[]), 0);
+        assert_eq!(exit_code(&[finding(Severity::Info)]), 0);
+        assert_eq!(
+            exit_code(&[finding(Severity::Info), finding(Severity::Warn)]),
+            1
+        );
+        assert_eq!(
+            exit_code(&[finding(Severity::Warn), finding(Severity::Error)]),
+            2
+        );
+    }
+
+    #[test]
+    fn renderer_names_the_location_and_counts_by_severity() {
+        let findings = [finding(Severity::Error), finding(Severity::Warn)];
+        let text = render(&findings);
+        assert!(text.contains("error[test-lint] cell 3: something"));
+        assert!(text.contains("warning[test-lint] cell 3: something"));
+        assert!(text.contains("1 error(s), 1 warning(s), 0 note(s)"));
+        assert!(render(&[]).contains("clean: no findings"));
+    }
+
+    #[test]
+    fn json_renderer_escapes_and_separates() {
+        let mut f = finding(Severity::Warn);
+        f.message = "a \"quoted\"\nmessage".to_string();
+        let json = render_json(&[f.clone(), f]);
+        assert!(json.contains("\\\"quoted\\\"\\n"));
+        assert_eq!(json.matches("\"lint\": \"test-lint\"").count(), 2);
+        assert!(json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn registry_ids_are_unique_and_described() {
+        let lints = registry();
+        let mut ids: Vec<&str> = lints.iter().map(|l| l.id()).collect();
+        assert!(!ids.is_empty());
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate lint id in registry");
+        for lint in &lints {
+            assert!(!lint.description().is_empty(), "{} undocumented", lint.id());
+        }
+    }
+
+    #[test]
+    fn locations_render_distinctly() {
+        let axis = Location::Axis {
+            axis: "fusers",
+            indices: vec![0, 2],
+        };
+        assert_eq!(axis.to_string(), "fusers axis [0, 2]");
+        let preset = Location::Scenario {
+            name: "baseline-open-loop".to_string(),
+        };
+        assert_eq!(preset.to_string(), "scenario `baseline-open-loop`");
+        let column = Location::Column {
+            column: "vehicle_mean_widths".to_string(),
+        };
+        assert_eq!(column.to_string(), "tolerance `vehicle_mean_widths`");
+    }
+}

@@ -1,0 +1,681 @@
+//! The built-in lint rules.
+//!
+//! Scenario lints check one [`Scenario`] (a registry preset or a
+//! materialised grid cell); grid lints check axis-level structure;
+//! baseline lints check one parsed baseline file. See the crate docs
+//! for the severity conventions and [`crate::registry`] for the full
+//! ordered list.
+
+use std::collections::{BTreeSet, HashMap};
+
+use arsf_core::scenario::{faults_label, AttackerSpec, Scenario};
+use arsf_core::sweep::store::{detector_label, fuser_label};
+use arsf_core::sweep::{derive_seed, SweepGrid};
+use arsf_core::DetectionMode;
+
+use crate::{BaselineContext, Finding, Lint, Location, Severity};
+
+/// Every built-in lint, in deterministic (roughly layer) order.
+pub(crate) fn all() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(ScenarioValidates),
+        Box::new(FusionSoundness),
+        Box::new(AttackerBudget),
+        Box::new(FaultBudget),
+        Box::new(CombinedBudget),
+        Box::new(DetectorWindow),
+        Box::new(EnvelopeOrder),
+        Box::new(EmptyRun),
+        Box::new(DuplicateAxisValue),
+        Box::new(SeedCollision),
+        Box::new(BaselineAddress),
+        Box::new(BaselineFilename),
+    ]
+}
+
+fn scenario_location(scenario: &Scenario) -> Location {
+    Location::Scenario {
+        name: scenario.name.clone(),
+    }
+}
+
+fn distinct_fault_sensors(scenario: &Scenario) -> BTreeSet<usize> {
+    scenario.faults.iter().map(|(sensor, _)| *sensor).collect()
+}
+
+fn distinct_attacked_sensors(scenario: &Scenario) -> BTreeSet<usize> {
+    match &scenario.attacker {
+        AttackerSpec::Fixed { sensors, .. } => sensors.iter().copied().collect(),
+        _ => BTreeSet::new(),
+    }
+}
+
+/// `scenario-validate` (error): the engines reject the definition.
+struct ScenarioValidates;
+
+impl Lint for ScenarioValidates {
+    fn id(&self) -> &'static str {
+        "scenario-validate"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "the scenario fails Scenario::validate, so no engine can execute it"
+    }
+    fn check_scenario(&self, scenario: &Scenario, out: &mut Vec<Finding>) {
+        if let Err(err) = scenario.validate() {
+            out.push(Finding {
+                lint: self.id(),
+                severity: self.severity(),
+                location: scenario_location(scenario),
+                message: err.to_string(),
+            });
+        }
+    }
+}
+
+/// `fusion-soundness` (error): `n ≤ 2f` voids the containment theorems.
+struct FusionSoundness;
+
+impl Lint for FusionSoundness {
+    fn id(&self) -> &'static str {
+        "fusion-soundness"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "the suite has n <= 2f sensors, voiding the n > 2f containment precondition"
+    }
+    fn check_scenario(&self, scenario: &Scenario, out: &mut Vec<Finding>) {
+        let n = scenario.suite.len();
+        if n <= 2 * scenario.f {
+            out.push(Finding {
+                lint: self.id(),
+                severity: self.severity(),
+                location: scenario_location(scenario),
+                message: format!(
+                    "suite `{}` has n = {n} sensors with f = {}: Marzullo/Brooks-Iyengar \
+                     containment needs n > 2f",
+                    scenario.suite.label(),
+                    scenario.f
+                ),
+            });
+        }
+    }
+}
+
+/// `attacker-budget` (error): the fixed compromised set exceeds `f`.
+struct AttackerBudget;
+
+impl Lint for AttackerBudget {
+    fn id(&self) -> &'static str {
+        "attacker-budget"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "a fixed attacker compromises more distinct sensors than the fault assumption f"
+    }
+    fn check_scenario(&self, scenario: &Scenario, out: &mut Vec<Finding>) {
+        let attacked = distinct_attacked_sensors(scenario);
+        if attacked.len() > scenario.f {
+            out.push(Finding {
+                lint: self.id(),
+                severity: self.severity(),
+                location: scenario_location(scenario),
+                message: format!(
+                    "attacker `{}` compromises {} distinct sensors but the fault assumption \
+                     is f = {}: the fused interval is not guaranteed to contain the truth",
+                    scenario.attacker.label(),
+                    attacked.len(),
+                    scenario.f
+                ),
+            });
+        }
+    }
+}
+
+/// `fault-budget` (warning): the injected fault set exceeds `f`.
+struct FaultBudget;
+
+impl Lint for FaultBudget {
+    fn id(&self) -> &'static str {
+        "fault-budget"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn description(&self) -> &'static str {
+        "fault injection touches more distinct sensors than the fault assumption f"
+    }
+    fn check_scenario(&self, scenario: &Scenario, out: &mut Vec<Finding>) {
+        let faulted = distinct_fault_sensors(scenario);
+        if faulted.len() > scenario.f {
+            out.push(Finding {
+                lint: self.id(),
+                severity: self.severity(),
+                location: scenario_location(scenario),
+                message: format!(
+                    "fault set `{}` touches {} distinct sensors with f = {}: the run is a \
+                     deliberate over-budget stress, not a theorem-covered configuration",
+                    faults_label(&scenario.faults),
+                    faulted.len(),
+                    scenario.f
+                ),
+            });
+        }
+    }
+}
+
+/// `combined-budget` (info): faults and attacker are each within `f`,
+/// but can jointly corrupt more than `f` sensors in one round.
+struct CombinedBudget;
+
+impl Lint for CombinedBudget {
+    fn id(&self) -> &'static str {
+        "combined-budget"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Info
+    }
+    fn description(&self) -> &'static str {
+        "faults plus attacker can jointly corrupt more than f sensors in one round"
+    }
+    fn check_scenario(&self, scenario: &Scenario, out: &mut Vec<Finding>) {
+        let faulted = distinct_fault_sensors(scenario);
+        let attacked = distinct_attacked_sensors(scenario);
+        if faulted.len() > scenario.f || attacked.len() > scenario.f {
+            return; // already an attacker-budget / fault-budget finding
+        }
+        let (combined, qualifier) = match &scenario.attacker {
+            AttackerSpec::RandomEachRound => (faulted.len() + 1, "up to "),
+            _ => (faulted.union(&attacked).count(), ""),
+        };
+        if combined > scenario.f {
+            out.push(Finding {
+                lint: self.id(),
+                severity: self.severity(),
+                location: scenario_location(scenario),
+                message: format!(
+                    "faults and attacker together can corrupt {qualifier}{combined} distinct \
+                     sensors in a round with f = {}: rows measure behaviour beyond the \
+                     corruption budget",
+                    scenario.f
+                ),
+            });
+        }
+    }
+}
+
+/// `detector-window` (warning): a windowed detector that can never fill
+/// its window or never condemn.
+struct DetectorWindow;
+
+impl Lint for DetectorWindow {
+    fn id(&self) -> &'static str {
+        "detector-window"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn description(&self) -> &'static str {
+        "a windowed detector's window exceeds the run length, or its tolerance its window"
+    }
+    fn check_scenario(&self, scenario: &Scenario, out: &mut Vec<Finding>) {
+        if let DetectionMode::Windowed { window, tolerance } = scenario.detector {
+            if window as u64 > scenario.rounds {
+                out.push(Finding {
+                    lint: self.id(),
+                    severity: self.severity(),
+                    location: scenario_location(scenario),
+                    message: format!(
+                        "windowed detector window {window} exceeds the {}-round run: the \
+                         window never fills",
+                        scenario.rounds
+                    ),
+                });
+            }
+            if tolerance >= window {
+                out.push(Finding {
+                    lint: self.id(),
+                    severity: self.severity(),
+                    location: scenario_location(scenario),
+                    message: format!(
+                        "windowed detector tolerance {tolerance} >= window {window}: a window \
+                         holds at most {window} violations, so the detector can never condemn"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `envelope-order` (warning): `δ1 > δ2` inverts the paper's envelope
+/// assumption.
+struct EnvelopeOrder;
+
+impl Lint for EnvelopeOrder {
+    fn id(&self) -> &'static str {
+        "envelope-order"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn description(&self) -> &'static str {
+        "the closed-loop envelope has delta1 > delta2, inverting the paper's assumption"
+    }
+    fn check_scenario(&self, scenario: &Scenario, out: &mut Vec<Finding>) {
+        if let Some(spec) = &scenario.closed_loop {
+            let finite = spec.delta_up.is_finite() && spec.delta_down.is_finite();
+            if finite && spec.delta_up > spec.delta_down {
+                out.push(Finding {
+                    lint: self.id(),
+                    severity: self.severity(),
+                    location: scenario_location(scenario),
+                    message: format!(
+                        "envelope half-widths \u{3b4}1 = {} > \u{3b4}2 = {}: the case study's \
+                         safety argument assumes \u{3b4}1 <= \u{3b4}2",
+                        spec.delta_up, spec.delta_down
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `empty-run` (warning): zero rounds makes every metric vacuous.
+struct EmptyRun;
+
+impl Lint for EmptyRun {
+    fn id(&self) -> &'static str {
+        "empty-run"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn description(&self) -> &'static str {
+        "the scenario runs zero rounds, so every metric is vacuous"
+    }
+    fn check_scenario(&self, scenario: &Scenario, out: &mut Vec<Finding>) {
+        if scenario.rounds == 0 {
+            out.push(Finding {
+                lint: self.id(),
+                severity: self.severity(),
+                location: scenario_location(scenario),
+                message: "the scenario runs 0 rounds: every metric will be vacuous".to_string(),
+            });
+        }
+    }
+}
+
+/// `duplicate-axis-value` (warning): the same value twice on one axis.
+struct DuplicateAxisValue;
+
+impl DuplicateAxisValue {
+    fn check_axis(&self, axis: &'static str, labels: &[String], out: &mut Vec<Finding>) {
+        let mut positions: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, label) in labels.iter().enumerate() {
+            positions.entry(label).or_default().push(i);
+        }
+        let mut duplicated: Vec<(&str, Vec<usize>)> = positions
+            .into_iter()
+            .filter(|(_, indices)| indices.len() > 1)
+            .collect();
+        duplicated.sort_by_key(|(_, indices)| indices[0]);
+        for (label, indices) in duplicated {
+            let note = if axis == "seeds" {
+                " (derived per-cell seeds still differ, but the replicate is unintended \
+                 unless the values were meant to vary)"
+            } else {
+                ""
+            };
+            out.push(Finding {
+                lint: self.id(),
+                severity: self.severity(),
+                location: Location::Axis {
+                    axis,
+                    indices: indices.clone(),
+                },
+                message: format!(
+                    "value `{label}` appears {} times on the {axis} axis: duplicate cells \
+                     multiply the grid without adding coverage{note}",
+                    indices.len()
+                ),
+            });
+        }
+    }
+}
+
+impl Lint for DuplicateAxisValue {
+    fn id(&self) -> &'static str {
+        "duplicate-axis-value"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn description(&self) -> &'static str {
+        "an axis lists the same value twice, multiplying grid size without adding coverage"
+    }
+    fn check_grid(&self, grid: &SweepGrid, out: &mut Vec<Finding>) {
+        let labelled: [(&'static str, Vec<String>); 8] = [
+            (
+                "suites",
+                grid.suite_axis().iter().map(|s| s.label()).collect(),
+            ),
+            (
+                "fault_sets",
+                grid.fault_set_axis()
+                    .iter()
+                    .map(|f| faults_label(f))
+                    .collect(),
+            ),
+            (
+                "attackers",
+                grid.attacker_axis().iter().map(|a| a.label()).collect(),
+            ),
+            (
+                "schedules",
+                grid.schedule_axis()
+                    .iter()
+                    .map(|s| s.name().to_string())
+                    .collect(),
+            ),
+            (
+                "fusers",
+                grid.fuser_axis().iter().map(fuser_label).collect(),
+            ),
+            (
+                "detectors",
+                grid.detector_axis().iter().map(detector_label).collect(),
+            ),
+            (
+                "rounds",
+                grid.rounds_axis().iter().map(|r| r.to_string()).collect(),
+            ),
+            (
+                "seeds",
+                grid.seed_axis().iter().map(|s| s.to_string()).collect(),
+            ),
+        ];
+        for (axis, labels) in &labelled {
+            self.check_axis(axis, labels, out);
+        }
+    }
+}
+
+/// `seed-collision` (warning): two cells derive the same RNG seed.
+struct SeedCollision;
+
+impl Lint for SeedCollision {
+    fn id(&self) -> &'static str {
+        "seed-collision"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn description(&self) -> &'static str {
+        "two grid cells derive the same per-cell RNG seed and sample identical streams"
+    }
+    fn check_grid(&self, grid: &SweepGrid, out: &mut Vec<Finding>) {
+        let seeds = grid.seed_axis();
+        let cells = grid.len();
+        let mut first_cell: HashMap<u64, usize> = HashMap::with_capacity(cells);
+        for cell in 0..cells {
+            // Seeds are the fastest-varying axis, so the seed-axis value
+            // of cell i is seeds[i % seeds.len()].
+            let base = seeds[cell % seeds.len()];
+            let derived = derive_seed(base, cell as u64);
+            if let Some(&earlier) = first_cell.get(&derived) {
+                out.push(Finding {
+                    lint: self.id(),
+                    severity: self.severity(),
+                    location: Location::Cell { cell },
+                    message: format!(
+                        "derived seed {derived:#018x} collides with cell {earlier} (seed axis \
+                         values {} and {base}): the two cells sample identical measurement \
+                         streams",
+                        seeds[earlier % seeds.len()]
+                    ),
+                });
+            } else {
+                first_cell.insert(derived, cell);
+            }
+        }
+    }
+}
+
+/// `baseline-address` (error): the stored content address does not match
+/// the recomputed address of the embedded definition.
+struct BaselineAddress;
+
+impl Lint for BaselineAddress {
+    fn id(&self) -> &'static str {
+        "baseline-address"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "the stored content address does not match the recomputed address of the definition"
+    }
+    fn check_baseline(&self, baseline: &BaselineContext<'_>, out: &mut Vec<Finding>) {
+        if let Err(err) = baseline.baseline.verify_address() {
+            out.push(Finding {
+                lint: self.id(),
+                severity: self.severity(),
+                location: Location::File {
+                    path: baseline.path.to_path_buf(),
+                },
+                message: err.to_string(),
+            });
+        }
+    }
+}
+
+/// `baseline-filename` (error): the file stem is not the stored address,
+/// so `Baseline::load_for_grid` can never find (or would mis-trust) it.
+struct BaselineFilename;
+
+impl Lint for BaselineFilename {
+    fn id(&self) -> &'static str {
+        "baseline-filename"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "the baseline's file stem is not its stored content address"
+    }
+    fn check_baseline(&self, baseline: &BaselineContext<'_>, out: &mut Vec<Finding>) {
+        let stem = baseline
+            .path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if stem != baseline.baseline.address {
+            out.push(Finding {
+                lint: self.id(),
+                severity: self.severity(),
+                location: Location::File {
+                    path: baseline.path.to_path_buf(),
+                },
+                message: format!(
+                    "file stem `{stem}` does not match the stored address {}: the check \
+                     harness looks baselines up by address and will never read this file",
+                    baseline.baseline.address
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use arsf_core::scenario::{
+        AttackerSpec, ClosedLoopSpec, FuserSpec, Scenario, StrategySpec, SuiteSpec,
+    };
+    use arsf_core::sweep::{derive_seed, SweepGrid};
+    use arsf_core::DetectionMode;
+    use arsf_sensor::{FaultKind, FaultModel};
+
+    use crate::{analyze_grid, analyze_scenario, Location, Severity};
+
+    fn ids(findings: &[crate::Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.lint).collect()
+    }
+
+    #[test]
+    fn a_default_scenario_is_clean() {
+        let findings = analyze_scenario(&Scenario::new("clean", SuiteSpec::Landshark));
+        assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+    }
+
+    #[test]
+    fn fusion_soundness_flags_n_3_f_2_as_error() {
+        let scenario = Scenario::new("unsound", SuiteSpec::Widths(vec![1.0, 2.0, 3.0])).with_f(2);
+        let findings = analyze_scenario(&scenario);
+        assert_eq!(ids(&findings), vec!["fusion-soundness"]);
+        assert_eq!(findings[0].severity, Severity::Error);
+        assert!(findings[0].message.contains("n = 3"));
+        assert!(findings[0].message.contains("f = 2"));
+    }
+
+    #[test]
+    fn attacker_budget_counts_distinct_sensors() {
+        let over = Scenario::new("over", SuiteSpec::Landshark).with_attacker(AttackerSpec::Fixed {
+            sensors: vec![0, 2],
+            strategy: StrategySpec::PhantomOptimal,
+        });
+        assert!(ids(&analyze_scenario(&over)).contains(&"attacker-budget"));
+
+        // The same sensor listed twice is one compromised sensor.
+        let duplicated =
+            Scenario::new("dup", SuiteSpec::Landshark).with_attacker(AttackerSpec::Fixed {
+                sensors: vec![0, 0],
+                strategy: StrategySpec::PhantomOptimal,
+            });
+        assert!(!ids(&analyze_scenario(&duplicated)).contains(&"attacker-budget"));
+    }
+
+    #[test]
+    fn fault_budget_warns_and_combined_budget_is_informational() {
+        let faulty = Scenario::new("faulty", SuiteSpec::Landshark)
+            .with_fault(0, FaultModel::new(FaultKind::Silent, 1.0))
+            .with_fault(1, FaultModel::new(FaultKind::Silent, 1.0));
+        let findings = analyze_scenario(&faulty);
+        let budget = findings.iter().find(|f| f.lint == "fault-budget");
+        assert_eq!(budget.map(|f| f.severity), Some(Severity::Warn));
+
+        // Table II's model: one fault plus a random-each-round attacker is
+        // within each individual budget but jointly exceeds f = 1 — an
+        // Info note, so preset linting stays clean.
+        let table2 = Scenario::new("t2", SuiteSpec::Landshark)
+            .with_fault(2, FaultModel::new(FaultKind::Silent, 1.0))
+            .with_attacker(AttackerSpec::RandomEachRound);
+        let findings = analyze_scenario(&table2);
+        assert_eq!(ids(&findings), vec!["combined-budget"]);
+        assert_eq!(findings[0].severity, Severity::Info);
+        assert!(findings[0].message.contains("up to 2"));
+    }
+
+    #[test]
+    fn detector_window_flags_unfillable_and_uncondemnable_windows() {
+        let long_window = Scenario::new("w", SuiteSpec::Landshark)
+            .with_detector(DetectionMode::Windowed {
+                window: 200,
+                tolerance: 3,
+            })
+            .with_rounds(50);
+        let findings = analyze_scenario(&long_window);
+        assert_eq!(ids(&findings), vec!["detector-window"]);
+        assert!(findings[0].message.contains("never fills"));
+
+        let dead =
+            Scenario::new("d", SuiteSpec::Landshark).with_detector(DetectionMode::Windowed {
+                window: 5,
+                tolerance: 5,
+            });
+        let findings = analyze_scenario(&dead);
+        assert_eq!(ids(&findings), vec!["detector-window"]);
+        assert!(findings[0].message.contains("never condemn"));
+    }
+
+    #[test]
+    fn envelope_order_and_empty_run_warn() {
+        let inverted = Scenario::new("inv", SuiteSpec::Landshark)
+            .with_closed_loop(ClosedLoopSpec::new(30.0).with_deltas(1.0, 0.25));
+        assert!(ids(&analyze_scenario(&inverted)).contains(&"envelope-order"));
+
+        let ok = Scenario::new("ok", SuiteSpec::Landshark)
+            .with_closed_loop(ClosedLoopSpec::new(30.0).with_deltas(0.25, 1.0));
+        assert!(analyze_scenario(&ok).is_empty());
+
+        let empty = Scenario::new("empty", SuiteSpec::Landshark).with_rounds(0);
+        assert!(ids(&analyze_scenario(&empty)).contains(&"empty-run"));
+    }
+
+    #[test]
+    fn invalid_envelope_is_a_validate_error_not_an_order_warning() {
+        let bad = Scenario::new("nan", SuiteSpec::Landshark)
+            .with_closed_loop(ClosedLoopSpec::new(f64::NAN));
+        let findings = analyze_scenario(&bad);
+        assert_eq!(ids(&findings), vec!["scenario-validate"]);
+        assert_eq!(findings[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn duplicate_axis_value_points_at_the_offending_indices() {
+        let grid = SweepGrid::new(Scenario::new("dup", SuiteSpec::Landshark)).fusers([
+            FuserSpec::Marzullo,
+            FuserSpec::BrooksIyengar,
+            FuserSpec::Marzullo,
+        ]);
+        let findings = analyze_grid(&grid);
+        let dup: Vec<_> = findings
+            .iter()
+            .filter(|f| f.lint == "duplicate-axis-value")
+            .collect();
+        assert_eq!(dup.len(), 1);
+        assert_eq!(
+            dup[0].location,
+            Location::Axis {
+                axis: "fusers",
+                indices: vec![0, 2],
+            }
+        );
+        assert!(dup[0].message.contains("`marzullo` appears 2 times"));
+    }
+
+    #[test]
+    fn seed_collision_is_detected_via_the_splitmix_derivation() {
+        // derive_seed(b, c) = sm(b ^ sm(c)); cells 0 and 1 decode seed-axis
+        // values a and b, so choosing b = a ^ sm(0) ^ sm(1) makes both
+        // cells derive the same seed.
+        fn sm(mut z: u64) -> u64 {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let a = 2014_u64;
+        let b = a ^ sm(0) ^ sm(1);
+        assert_eq!(derive_seed(a, 0), derive_seed(b, 1), "construction broken");
+
+        let grid = SweepGrid::new(Scenario::new("collide", SuiteSpec::Landshark)).seeds([a, b]);
+        let findings = analyze_grid(&grid);
+        let collision: Vec<_> = findings
+            .iter()
+            .filter(|f| f.lint == "seed-collision")
+            .collect();
+        assert_eq!(collision.len(), 1);
+        assert_eq!(collision[0].location, Location::Cell { cell: 1 });
+        assert!(collision[0].message.contains("collides with cell 0"));
+
+        // Distinct default-style seeds do not collide.
+        let clean = SweepGrid::new(Scenario::new("ok", SuiteSpec::Landshark)).seeds([1, 2, 3]);
+        assert!(analyze_grid(&clean).is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! Property test for the lint/runtime contract: a sweep grid that
+//! `arsf-analyze` passes with **no error-severity findings** is actually
+//! runnable — every cell's scenario validates, builds a runner, and runs
+//! its rounds without a [`ScenarioError`].
+//!
+//! The pools deliberately include unsound draws (a 3-sensor suite with
+//! `f = 2`, two attacked sensors under `f = 1`, a fault on a sensor the
+//! suite does not have) so both directions are exercised: the linter
+//! rejects them as errors, and everything it lets through runs.
+
+use arsf_analyze::{analyze_grid, Severity};
+use arsf_core::scenario::{AttackerSpec, Scenario, StrategySpec, SuiteSpec};
+use arsf_core::sweep::SweepGrid;
+use arsf_core::{DetectionMode, ScenarioRunner};
+use arsf_sensor::{FaultKind, FaultModel};
+use proptest::prelude::*;
+
+fn suite_pool(i: usize) -> SuiteSpec {
+    match i % 3 {
+        0 => SuiteSpec::Landshark,
+        // Three sensors: unsound under f = 2, and sensor index 3 is out
+        // of range for it.
+        1 => SuiteSpec::Widths(vec![5.0, 11.0, 17.0]),
+        _ => SuiteSpec::Widths(vec![4.0, 8.0, 12.0, 16.0, 20.0]),
+    }
+}
+
+fn attacker_pool(i: usize) -> AttackerSpec {
+    let fixed = |sensors: Vec<usize>, strategy| AttackerSpec::Fixed { sensors, strategy };
+    match i % 5 {
+        0 => AttackerSpec::None,
+        1 => fixed(vec![0], StrategySpec::PhantomOptimal),
+        2 => fixed(vec![1], StrategySpec::GreedyLow),
+        // Two compromised sensors: an attacker-budget error unless f >= 2.
+        3 => fixed(vec![0, 1], StrategySpec::GreedyHigh),
+        _ => AttackerSpec::RandomEachRound,
+    }
+}
+
+fn fault_set_pool(i: usize) -> Vec<(usize, FaultModel)> {
+    match i % 4 {
+        0 => vec![],
+        1 => vec![(0, FaultModel::new(FaultKind::Bias { offset: 3.0 }, 0.25))],
+        // Valid on the 5-sensor suites, out of range on the 3-sensor one.
+        2 => vec![(3, FaultModel::new(FaultKind::Silent, 0.5))],
+        _ => vec![
+            (1, FaultModel::new(FaultKind::Scale { factor: 1.5 }, 0.4)),
+            (2, FaultModel::new(FaultKind::StuckAt { value: 12.0 }, 0.3)),
+        ],
+    }
+}
+
+fn detector_pool(i: usize) -> DetectionMode {
+    match i % 4 {
+        0 => DetectionMode::Off,
+        1 => DetectionMode::Immediate,
+        2 => DetectionMode::Windowed {
+            window: 5,
+            tolerance: 1,
+        },
+        // Dead window (tolerance >= window): a warning, still runnable.
+        _ => DetectionMode::Windowed {
+            window: 5,
+            tolerance: 5,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn grids_without_error_findings_build_and_run(
+        suite in 0usize..3,
+        f in 0usize..3,
+        attacker_a in 0usize..5,
+        attacker_b in 0usize..5,
+        faults in 0usize..4,
+        detector in 0usize..4,
+        empty_rounds in 0usize..2,
+        replicate in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let base = Scenario::new("prop-lint", suite_pool(suite))
+            .with_f(f)
+            .with_rounds(10)
+            .with_seed(seed);
+        let mut grid = SweepGrid::new(base)
+            .attackers(vec![attacker_pool(attacker_a), attacker_pool(attacker_b)])
+            .fault_sets(vec![fault_set_pool(faults)])
+            .detectors(vec![detector_pool(detector)]);
+        if empty_rounds == 1 {
+            // An empty-run warning, not an error: the cell still "runs".
+            grid = grid.rounds(vec![10, 0]);
+        }
+        if replicate == 1 {
+            grid = grid.seeds(vec![seed, seed.wrapping_add(1)]);
+        }
+
+        let findings = analyze_grid(&grid);
+        if findings.iter().any(|f| f.severity == Severity::Error) {
+            // The linter rejected the grid; nothing more to check.
+            return Ok(());
+        }
+
+        // No error findings: every cell must validate, build, and run.
+        for cell in 0..grid.len() {
+            let scenario = grid.scenario(cell);
+            prop_assert!(
+                scenario.validate().is_ok(),
+                "cell {cell} fails validate despite a lint-clean grid: {:?}",
+                scenario.validate()
+            );
+            let runner = ScenarioRunner::try_new(&scenario);
+            prop_assert!(
+                runner.is_ok(),
+                "cell {cell} fails to build despite a lint-clean grid"
+            );
+            if let Ok(mut runner) = runner {
+                let summary = runner.run();
+                prop_assert_eq!(summary.rounds, scenario.rounds, "cell {}", cell);
+            }
+        }
+    }
+}

@@ -31,6 +31,9 @@
 //!   `truthful`) instead of the mode's default attacker
 //! * `--honest` — drop the grid base scenario's attacker (switches to
 //!   grid mode like the axis flags)
+//! * `--f n` — the fusion fault assumption for every cell (grid mode;
+//!   default 1); `sweep_lint grid` flags combinations whose suite
+//!   violates the `n > 2f` soundness bound
 //! * `--cells a..b` — run only the grid cells in the half-open range
 //!   `a..b` (grid order); rows keep their grid indices and derived
 //!   seeds, so shards from different processes concatenate into the
@@ -55,20 +58,19 @@
 //!   baseline directory, or diff it against the stored baseline and
 //!   exit 1 on drift; `check` honours `--tol col=abs[:rel],…` on top of
 //!   the near-exact default (see the `sweep_diff` binary for the
-//!   golden-grid workflow and the full tolerance semantics)
+//!   golden-grid workflow and the full tolerance semantics). `record`
+//!   refuses to freeze a grid that `arsf-analyze` flags with
+//!   error-severity findings — run `sweep_lint grid` with the same
+//!   flags to see them ahead of time
 //! * `--baseline-dir path` — the baseline directory (default
 //!   `baselines`)
 
 use std::process::exit;
 
-use arsf_bench::cli::{
-    parse_cells, parse_deltas, parse_detectors, parse_f64_list, parse_fault, parse_fusers,
-    parse_platoon, parse_schedules, parse_strategy, parse_suite, parse_u64_list,
-};
+use arsf_analyze::{AnalyzeGrid, Severity};
+use arsf_bench::cli::{grid_from_args, grid_mode_requested, parse_cells};
 use arsf_bench::{arg_value, has_flag, TextTable};
-use arsf_core::scenario::{
-    registry, AttackerSpec, ClosedLoopSpec, FuserSpec, Scenario, StrategySpec, SuiteSpec,
-};
+use arsf_core::scenario::registry;
 use arsf_core::sweep::diff::{diff, DiffConfig};
 use arsf_core::sweep::store::Baseline;
 use arsf_core::sweep::{ParallelSweeper, SweepGrid, SweepReport};
@@ -94,25 +96,7 @@ fn main() {
     // family, which only make sense for the grid's base scenario)
     // switches from preset to grid mode; the closed-loop parameter flags
     // imply --closed-loop so they are never silently ignored.
-    let closed_loop = has_flag("--closed-loop")
-        || ["--target", "--deltas", "--platoon"]
-            .iter()
-            .any(|flag| arg_value(flag).is_some());
-    let grid_mode = [
-        "--fusers",
-        "--detectors",
-        "--schedules",
-        "--history",
-        "--seeds",
-        "--suite",
-        "--fault",
-        "--strategy",
-        "--cells",
-    ]
-    .iter()
-    .any(|flag| arg_value(flag).is_some())
-        || has_flag("--honest")
-        || closed_loop;
+    let grid_mode = grid_mode_requested();
 
     let baseline_mode = arg_value("--baseline");
     if let Some(mode) = &baseline_mode {
@@ -129,81 +113,17 @@ fn main() {
 
     let mut baseline_grid: Option<SweepGrid> = None;
     let report = if grid_mode {
-        let suite = arg_value("--suite").map_or(SuiteSpec::Landshark, |s| parsed(parse_suite(&s)));
-        // Open-loop grids default to the stealthy fixed attacker on the
-        // most precise sensor; closed-loop grids default to Table II's
-        // "any sensor can be attacked" model.
-        let mut base = if closed_loop {
-            Scenario::new("sweep", suite).with_attacker(AttackerSpec::RandomEachRound)
-        } else {
-            Scenario::new("sweep", suite).with_attacker(AttackerSpec::Fixed {
-                sensors: vec![0],
-                strategy: StrategySpec::PhantomOptimal,
-            })
-        };
-        if let Some(spec) = arg_value("--strategy") {
-            base = base.with_attacker(AttackerSpec::Fixed {
-                sensors: vec![0],
-                strategy: parsed(parse_strategy(&spec)),
-            });
-        }
-        if has_flag("--honest") {
-            base = base.with_attacker(AttackerSpec::None);
-        }
-        if let Some(spec) = arg_value("--fault") {
-            let (sensor, fault) = parsed(parse_fault(&spec));
-            base = base.with_fault(sensor, fault);
-        }
-        if closed_loop {
-            let target = arg_value("--target").map_or(10.0, |s| {
-                s.parse()
-                    .ok()
-                    .filter(|t: &f64| t.is_finite() && *t > 0.0)
-                    .unwrap_or_else(|| fail("--target wants a positive speed in mph"))
-            });
-            let mut spec = ClosedLoopSpec::new(target);
-            if let Some(deltas) = arg_value("--deltas") {
-                let (up, down) = parsed(parse_deltas(&deltas));
-                spec = spec.with_deltas(up, down);
-            }
-            if let Some(platoon) = arg_value("--platoon") {
-                let (size, gap) = parsed(parse_platoon(&platoon));
-                spec = spec.with_platoon(size, gap);
-            }
-            base = base.with_closed_loop(spec);
-        }
-        if let Some(rounds) = rounds_override {
-            base = base.with_rounds(rounds);
-        }
+        // One shared construction with `sweep_lint grid` (see
+        // `arsf_bench::cli::grid_from_args`), so what the linter analyzes
+        // is exactly what this binary runs.
+        let grid = parsed(grid_from_args());
         // Reject impossible combinations (out-of-range fault sensor,
         // degenerate platoon, …) as a CLI error instead of letting
         // ScenarioRunner panic inside a sweep worker. Only the CLI's
         // base-scenario flags affect validity — the axis flags vary
         // fusers/detectors/schedules/seeds, which are always valid.
-        if let Err(e) = base.validate() {
+        if let Err(e) = grid.base().validate() {
             fail(&format!("invalid scenario: {e}"));
-        }
-        let mut grid = SweepGrid::new(base);
-        // --fusers and --history feed one axis: explicit fusers first,
-        // then one historical entry per swept rate bound.
-        let mut fusers = arg_value("--fusers").map(|spec| parsed(parse_fusers(&spec)));
-        if let Some(spec) = arg_value("--history") {
-            let historical = parsed(parse_f64_list(&spec))
-                .into_iter()
-                .map(|max_rate| FuserSpec::Historical { max_rate, dt: 0.1 });
-            fusers.get_or_insert_with(Vec::new).extend(historical);
-        }
-        if let Some(fusers) = fusers {
-            grid = grid.fusers(fusers);
-        }
-        if let Some(spec) = arg_value("--detectors") {
-            grid = grid.detectors(parsed(parse_detectors(&spec)));
-        }
-        if let Some(spec) = arg_value("--schedules") {
-            grid = grid.schedules(parsed(parse_schedules(&spec)));
-        }
-        if let Some(spec) = arg_value("--seeds") {
-            grid = grid.seeds(parsed(parse_u64_list(&spec)));
         }
         if baseline_mode.is_some() {
             baseline_grid = Some(grid.clone());
@@ -264,10 +184,26 @@ fn main() {
         let dir = arg_value("--baseline-dir").unwrap_or_else(|| "baselines".to_string());
         let current = Baseline::from_report(grid, &report);
         match mode.as_str() {
-            "record" => match current.save(&dir) {
-                Ok(path) => println!("recorded baseline {}", path.display()),
-                Err(e) => fail(&format!("recording baseline: {e}")),
-            },
+            "record" => {
+                // Refuse to freeze a statically unsound grid: an
+                // error-severity finding means the rows are meaningless
+                // (soundness violated) or the engines got lucky.
+                let errors: Vec<_> = grid
+                    .analyze()
+                    .into_iter()
+                    .filter(|f| f.severity == Severity::Error)
+                    .collect();
+                if !errors.is_empty() {
+                    for finding in &errors {
+                        eprintln!("{}", finding.render());
+                    }
+                    fail("refusing to record a baseline for a grid with error-severity lint findings");
+                }
+                match current.save(&dir) {
+                    Ok(path) => println!("recorded baseline {}", path.display()),
+                    Err(e) => fail(&format!("recording baseline: {e}")),
+                }
+            }
             _ => {
                 let stored = Baseline::load_for_grid(&dir, grid)
                     .unwrap_or_else(|e| fail(&format!("loading baseline: {e}")));

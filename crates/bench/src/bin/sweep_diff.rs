@@ -8,12 +8,19 @@
 //! * `record` — run the golden grid(s) and write
 //!   `<dir>/<content-address>.json` for each (overwrites the grid's own
 //!   file only; other addresses are untouched). Re-record after an
-//!   *intentional* algorithm change.
+//!   *intentional* algorithm change. Refuses a grid that `arsf-analyze`
+//!   flags with error-severity findings.
 //! * `check` — run the golden grid(s) and diff each against its stored
-//!   baseline; exits 1 when any cell drifts out of tolerance (or a
-//!   baseline is missing), printing every drifted cell's grid index,
-//!   column, baseline value and new value.
+//!   baseline, printing every drifted cell's grid index, column,
+//!   baseline value and new value.
 //! * `diff <a.json> <b.json>` — compare two baseline files directly.
+//!
+//! Exit codes (CI keys off them, so drift and breakage stay
+//! distinguishable):
+//! * `0` — clean: every compared cell within tolerance
+//! * `1` — drift: at least one cell out of tolerance
+//! * `2` — broken: usage error, unreadable/missing baseline, or I/O
+//!   failure
 //!
 //! Options:
 //! * `--grid name` — restrict record/check to one golden grid
@@ -29,8 +36,9 @@
 
 use std::process::exit;
 
+use arsf_analyze::{AnalyzeGrid, Severity};
 use arsf_bench::cli::parse_tolerances;
-use arsf_bench::{arg_value, golden};
+use arsf_bench::{arg_value, golden, has_flag};
 use arsf_core::sweep::diff::{diff, DiffConfig, SweepDiff};
 use arsf_core::sweep::store::{baseline_path, grid_address, Baseline, StoreError};
 use arsf_core::sweep::{ParallelSweeper, SweepGrid};
@@ -86,6 +94,21 @@ fn run_baseline(grid: &SweepGrid, sweeper: &ParallelSweeper) -> Baseline {
 fn record(dir: &str) {
     let sweeper = sweeper();
     for (name, grid) in grids() {
+        // The same guard `scenario_sweep --baseline record` applies: a
+        // grid with error-severity lint findings must not be frozen.
+        let errors: Vec<_> = grid
+            .analyze()
+            .into_iter()
+            .filter(|f| f.severity == Severity::Error)
+            .collect();
+        if !errors.is_empty() {
+            for finding in &errors {
+                eprintln!("{}", finding.render());
+            }
+            fail(&format!(
+                "refusing to record {name}: the grid has error-severity lint findings"
+            ));
+        }
         let baseline = run_baseline(&grid, &sweeper);
         match baseline.save(dir) {
             Ok(path) => println!(
@@ -101,7 +124,11 @@ fn record(dir: &str) {
 fn check(dir: &str) {
     let sweeper = sweeper();
     let config = diff_config();
-    let mut failed = false;
+    // A missing or unreadable baseline is breakage (exit 2), not drift
+    // (exit 1): CI must not mistake "nothing to compare against" for
+    // "the numbers moved".
+    let mut broken = false;
+    let mut drifted = false;
     for (name, grid) in grids() {
         let stored = match Baseline::load_for_grid(dir, &grid) {
             Ok(stored) => stored,
@@ -110,7 +137,7 @@ fn check(dir: &str) {
                     "{name}: no baseline at {} — run `sweep_diff record` first",
                     baseline_path(dir, &grid_address(&grid)).display()
                 );
-                failed = true;
+                broken = true;
                 continue;
             }
             Err(e) => fail(&format!("loading {name}: {e}")),
@@ -118,9 +145,12 @@ fn check(dir: &str) {
         let current = run_baseline(&grid, &sweeper);
         let result = diff(&stored, &current, &config);
         print!("{name}: {}", result.render());
-        failed |= !result.is_empty();
+        drifted |= !result.is_empty();
     }
-    exit(i32::from(failed));
+    if broken {
+        exit(2);
+    }
+    exit(i32::from(drifted));
 }
 
 fn diff_files(a: &str, b: &str) {
@@ -131,7 +161,27 @@ fn diff_files(a: &str, b: &str) {
     exit(i32::from(!result.is_empty()));
 }
 
+const USAGE: &str = "\
+usage: sweep_diff <record|check|diff a.json b.json>
+                  [--grid name] [--dir path] [--threads k]
+                  [--tol col=abs[:rel],...]
+
+  record   run the golden grid(s), write <dir>/<content-address>.json
+           (refuses grids with error-severity arsf-analyze findings)
+  check    re-run the golden grid(s), diff against stored baselines
+  diff     compare two baseline files directly
+
+exit codes:
+  0  clean  - every compared cell within tolerance
+  1  drift  - at least one cell out of tolerance
+  2  broken - usage error, missing/unreadable baseline, or I/O failure
+";
+
 fn main() {
+    if has_flag("--help") || has_flag("-h") {
+        print!("{USAGE}");
+        exit(0);
+    }
     let dir = arg_value("--dir").unwrap_or_else(|| "baselines".to_string());
     let positional: Vec<String> = {
         // Everything after the program name that is neither a flag nor a
@@ -157,9 +207,9 @@ fn main() {
             (Some(a), Some(b)) => diff_files(a, b),
             _ => fail("diff wants two baseline files: sweep_diff diff a.json b.json"),
         },
-        _ => fail(
-            "usage: sweep_diff <record|check|diff a.json b.json> \
-             [--grid name] [--dir path] [--threads k] [--tol col=abs[:rel],…]",
-        ),
+        _ => {
+            eprint!("{USAGE}");
+            exit(2);
+        }
     }
 }

@@ -1,0 +1,137 @@
+//! Static lint runner over the three experiment-definition layers:
+//! registry presets, command-line sweep grids, and the committed golden
+//! baselines — the CLI face of `arsf-analyze`.
+//!
+//! Run with: `cargo run --release -p arsf-bench --bin sweep_lint -- <cmd>`
+//!
+//! Subcommands:
+//! * `presets` — lint every scenario in the registry. Clean on the
+//!   committed registry; a preset that violates `n > 2f`, exceeds the
+//!   corruption budget, or fails `Scenario::validate` fails the run.
+//! * `grid` — lint the sweep grid described by the same flags
+//!   `scenario_sweep` takes (`--fusers`, `--detectors`, `--schedules`,
+//!   `--seeds`, `--history`, `--suite`, `--fault`, `--strategy`,
+//!   `--honest`, `--f`, `--rounds`, and the closed-loop family
+//!   `--closed-loop`/`--target`/`--deltas`/`--platoon`). The grid is
+//!   built by the exact construction `scenario_sweep` runs, so a clean
+//!   lint here means the sweep is statically sound.
+//! * `baselines` — lint the baseline directory against the golden
+//!   grids: recomputed content addresses, filename/address agreement,
+//!   orphaned files, missing recordings; with `--tol col=abs[:rel],…`
+//!   also flags tolerance entries that match no column in any stored
+//!   baseline.
+//!
+//! Options:
+//! * `--json` — emit findings as a JSON array instead of text
+//! * `--dir path` — the baseline directory (`baselines` subcommand
+//!   only; default `baselines`)
+//! * `--tol col=abs[:rel],…` — check-harness tolerances to vet
+//!   (`baselines` subcommand only)
+//!
+//! Exit codes: `0` clean (info findings allowed), `1` warnings, `2`
+//! errors. `scenario_sweep --baseline record` and `sweep_diff record`
+//! enforce the error tier automatically before freezing a baseline.
+
+use std::path::Path;
+use std::process::exit;
+
+use arsf_analyze::{
+    analyze_baseline_dir, analyze_scenario, exit_code, render, render_json, tolerance_findings,
+    AnalyzeGrid, Finding,
+};
+use arsf_bench::cli::{grid_from_args, parse_tolerances};
+use arsf_bench::{arg_value, golden, has_flag};
+use arsf_core::scenario::registry;
+use arsf_core::sweep::diff::DiffConfig;
+use arsf_core::sweep::store::{baseline_path, grid_address, Baseline};
+
+const USAGE: &str = "\
+usage: sweep_lint <presets|grid|baselines> [--json]
+
+  presets    lint every registry preset
+  grid       lint the sweep grid described by scenario_sweep's flags
+             (--fusers, --detectors, --schedules, --seeds, --history,
+              --suite, --fault, --strategy, --honest, --f, --rounds,
+              --closed-loop, --target, --deltas, --platoon)
+  baselines  lint the baseline directory against the golden grids
+             [--dir path] [--tol col=abs[:rel],...]
+
+exit codes:
+  0  clean    - no findings above info severity
+  1  warnings - degenerate but runnable definitions
+  2  errors   - unsound or rejected definitions (record refuses these)
+";
+
+fn fail(message: &str) -> ! {
+    eprintln!("sweep_lint: {message}");
+    exit(2);
+}
+
+/// Prints the findings (text or `--json`) and exits with the lint
+/// convention: 2 on errors, 1 on warnings, 0 otherwise.
+fn emit(findings: &[Finding]) -> ! {
+    if has_flag("--json") {
+        print!("{}", render_json(findings));
+    } else {
+        print!("{}", render(findings));
+    }
+    exit(exit_code(findings));
+}
+
+fn presets() -> ! {
+    let mut findings = Vec::new();
+    for preset in registry() {
+        findings.extend(analyze_scenario(&preset));
+    }
+    findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
+    emit(&findings)
+}
+
+fn grid() -> ! {
+    let grid = grid_from_args().unwrap_or_else(|e| fail(&e));
+    emit(&grid.analyze())
+}
+
+fn baselines() -> ! {
+    let dir = arg_value("--dir").unwrap_or_else(|| "baselines".to_string());
+    let known: Vec<(String, String)> = golden::all()
+        .iter()
+        .map(|(name, grid)| (name.to_string(), grid_address(grid)))
+        .collect();
+    let mut findings = analyze_baseline_dir(Path::new(&dir), &known);
+    if let Some(spec) = arg_value("--tol") {
+        let mut config = DiffConfig::near_exact();
+        for (column, tolerance) in
+            parse_tolerances(&spec).unwrap_or_else(|e| fail(&format!("--tol: {e}")))
+        {
+            config = config.with_column(column, tolerance);
+        }
+        // Vet the tolerances against every stored golden baseline at
+        // once: one check-harness configuration applies to all grids, so
+        // a family only present closed-loop is alive, not dead.
+        let stored: Vec<Baseline> = known
+            .iter()
+            .filter_map(|(_, address)| Baseline::load(baseline_path(&dir, address)).ok())
+            .collect();
+        let refs: Vec<&Baseline> = stored.iter().collect();
+        findings.extend(tolerance_findings(&config, &refs));
+        findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
+    }
+    emit(&findings)
+}
+
+fn main() {
+    if has_flag("--help") || has_flag("-h") {
+        print!("{USAGE}");
+        exit(0);
+    }
+    match std::env::args().nth(1).as_deref() {
+        Some("presets") => presets(),
+        Some("grid") => grid(),
+        Some("baselines") => baselines(),
+        _ => {
+            eprint!("{USAGE}");
+            exit(2);
+        }
+    }
+}

@@ -6,8 +6,11 @@
 //! offending token — never `Ok(vec![])`, which would trip the grid's
 //! non-empty-axis assertion downstream.
 
-use arsf_core::scenario::{FuserSpec, StrategySpec, SuiteSpec};
+use arsf_core::scenario::{
+    AttackerSpec, ClosedLoopSpec, FuserSpec, Scenario, StrategySpec, SuiteSpec,
+};
 use arsf_core::sweep::diff::Tolerance;
+use arsf_core::sweep::SweepGrid;
 use arsf_core::DetectionMode;
 use arsf_schedule::SchedulePolicy;
 use arsf_sensor::{FaultKind, FaultModel};
@@ -364,6 +367,155 @@ pub fn parse_platoon(spec: &str) -> Result<(usize, f64), String> {
             .ok_or_else(|| format!("bad platoon gap `{}`", token.trim()))?,
     };
     Ok((size, gap))
+}
+
+/// The grid-shaping flags that switch `scenario_sweep` (and feed
+/// `sweep_lint grid`) into grid mode, plus the boolean `--honest` and
+/// the closed-loop family handled separately.
+const AXIS_FLAGS: [&str; 10] = [
+    "--fusers",
+    "--detectors",
+    "--schedules",
+    "--history",
+    "--seeds",
+    "--suite",
+    "--fault",
+    "--strategy",
+    "--cells",
+    "--f",
+];
+
+/// The value flags that imply closed-loop execution.
+const CLOSED_LOOP_FLAGS: [&str; 3] = ["--target", "--deltas", "--platoon"];
+
+/// Whether the process arguments imply closed-loop execution
+/// (`--closed-loop` itself, or any flag that only makes sense there).
+pub fn closed_loop_requested() -> bool {
+    crate::has_flag("--closed-loop")
+        || CLOSED_LOOP_FLAGS
+            .iter()
+            .any(|flag| crate::arg_value(flag).is_some())
+}
+
+/// Whether the process arguments select grid mode (any axis flag,
+/// `--honest`, or the closed-loop family).
+pub fn grid_mode_requested() -> bool {
+    AXIS_FLAGS
+        .iter()
+        .any(|flag| crate::arg_value(flag).is_some())
+        || crate::has_flag("--honest")
+        || closed_loop_requested()
+}
+
+/// Builds the grid-mode [`SweepGrid`] described by the process's
+/// command-line flags — the one construction `scenario_sweep` executes
+/// and `sweep_lint grid` statically analyzes, so the two binaries can
+/// never disagree about what a flag set means.
+///
+/// The base scenario defaults to a LandShark with the stealthy fixed
+/// attacker on sensor 0 (open-loop) or Table II's random-each-round
+/// attacker (closed-loop), then applies `--suite`, `--strategy`,
+/// `--honest`, `--fault`, `--f`, the closed-loop family and `--rounds`;
+/// the axis flags (`--fusers`, `--history`, `--detectors`,
+/// `--schedules`, `--seeds`) widen the grid.
+///
+/// The grid is deliberately **not** validated: `scenario_sweep` rejects
+/// an invalid base scenario as a CLI error, while `sweep_lint` reports
+/// lint findings about it instead — so the decision stays with the
+/// caller.
+///
+/// # Errors
+///
+/// Returns the first flag-parsing error, naming the offending token.
+pub fn grid_from_args() -> Result<SweepGrid, String> {
+    let closed_loop = closed_loop_requested();
+    let suite = match crate::arg_value("--suite") {
+        Some(spec) => parse_suite(&spec)?,
+        None => SuiteSpec::Landshark,
+    };
+    // Open-loop grids default to the stealthy fixed attacker on the
+    // most precise sensor; closed-loop grids default to Table II's
+    // "any sensor can be attacked" model.
+    let mut base = if closed_loop {
+        Scenario::new("sweep", suite).with_attacker(AttackerSpec::RandomEachRound)
+    } else {
+        Scenario::new("sweep", suite).with_attacker(AttackerSpec::Fixed {
+            sensors: vec![0],
+            strategy: StrategySpec::PhantomOptimal,
+        })
+    };
+    if let Some(spec) = crate::arg_value("--strategy") {
+        base = base.with_attacker(AttackerSpec::Fixed {
+            sensors: vec![0],
+            strategy: parse_strategy(&spec)?,
+        });
+    }
+    if crate::has_flag("--honest") {
+        base = base.with_attacker(AttackerSpec::None);
+    }
+    if let Some(spec) = crate::arg_value("--fault") {
+        let (sensor, fault) = parse_fault(&spec)?;
+        base = base.with_fault(sensor, fault);
+    }
+    if let Some(spec) = crate::arg_value("--f") {
+        let f: usize = spec
+            .parse()
+            .map_err(|_| format!("--f wants a non-negative integer, got `{spec}`"))?;
+        base = base.with_f(f);
+    }
+    if closed_loop {
+        let target = match crate::arg_value("--target") {
+            None => 10.0,
+            Some(spec) => spec
+                .parse()
+                .ok()
+                .filter(|t: &f64| t.is_finite() && *t > 0.0)
+                .ok_or("--target wants a positive speed in mph")?,
+        };
+        let mut spec = ClosedLoopSpec::new(target);
+        if let Some(deltas) = crate::arg_value("--deltas") {
+            let (up, down) = parse_deltas(&deltas)?;
+            spec = spec.with_deltas(up, down);
+        }
+        if let Some(platoon) = crate::arg_value("--platoon") {
+            let (size, gap) = parse_platoon(&platoon)?;
+            spec = spec.with_platoon(size, gap);
+        }
+        base = base.with_closed_loop(spec);
+    }
+    if let Some(rounds) = crate::arg_value("--rounds") {
+        let rounds: u64 = rounds
+            .parse()
+            .map_err(|_| format!("--rounds wants a non-negative integer, got `{rounds}`"))?;
+        base = base.with_rounds(rounds);
+    }
+
+    let mut grid = SweepGrid::new(base);
+    // --fusers and --history feed one axis: explicit fusers first, then
+    // one historical entry per swept rate bound.
+    let mut fusers = match crate::arg_value("--fusers") {
+        Some(spec) => Some(parse_fusers(&spec)?),
+        None => None,
+    };
+    if let Some(spec) = crate::arg_value("--history") {
+        let historical = parse_f64_list(&spec)?
+            .into_iter()
+            .map(|max_rate| FuserSpec::Historical { max_rate, dt: 0.1 });
+        fusers.get_or_insert_with(Vec::new).extend(historical);
+    }
+    if let Some(fusers) = fusers {
+        grid = grid.fusers(fusers);
+    }
+    if let Some(spec) = crate::arg_value("--detectors") {
+        grid = grid.detectors(parse_detectors(&spec)?);
+    }
+    if let Some(spec) = crate::arg_value("--schedules") {
+        grid = grid.schedules(parse_schedules(&spec)?);
+    }
+    if let Some(spec) = crate::arg_value("--seeds") {
+        grid = grid.seeds(parse_u64_list(&spec)?);
+    }
+    Ok(grid)
 }
 
 #[cfg(test)]

@@ -1,0 +1,113 @@
+//! Integration coverage for the static-analysis surface the `sweep_lint`
+//! binary exposes: the golden grids and the committed baseline directory
+//! must lint clean, a hand-corrupted baseline must be flagged with a
+//! file-level location, and the acceptance grids (a 3-sensor suite under
+//! `f = 2`, a duplicated fuser axis value) must produce the documented
+//! severities and exit codes.
+
+use std::path::{Path, PathBuf};
+
+use arsf_analyze::{analyze_baseline_dir, analyze_baseline_file, exit_code, AnalyzeGrid, Severity};
+use arsf_bench::golden;
+use arsf_core::scenario::{FuserSpec, Scenario, SuiteSpec};
+use arsf_core::sweep::store::grid_address;
+use arsf_core::sweep::SweepGrid;
+
+/// The committed baseline directory at the workspace root.
+fn baselines_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../baselines")
+}
+
+fn known_grids() -> Vec<(String, String)> {
+    golden::all()
+        .iter()
+        .map(|(name, grid)| (name.to_string(), grid_address(grid)))
+        .collect()
+}
+
+#[test]
+fn golden_grids_are_lint_clean() {
+    for (name, grid) in golden::all() {
+        let findings = grid.analyze();
+        assert!(
+            findings.is_empty(),
+            "golden grid {name} has findings: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn committed_baseline_directory_is_lint_clean() {
+    let findings = analyze_baseline_dir(&baselines_dir(), &known_grids());
+    assert!(findings.is_empty(), "baseline findings: {findings:?}");
+    assert_eq!(exit_code(&findings), 0);
+}
+
+#[test]
+fn corrupted_baseline_is_flagged_with_its_path() {
+    // Copy a committed baseline, flip one definition line, and keep the
+    // recorded address: the recomputed content address no longer matches.
+    let source = baselines_dir().join("3923b1688ebe2b0c.json");
+    let text = std::fs::read_to_string(&source).expect("committed baseline reads");
+    let corrupted = text.replace("rounds=120", "rounds=121");
+    assert_ne!(text, corrupted, "the definition line to corrupt exists");
+
+    let dir = std::env::temp_dir().join(format!("arsf-lint-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("3923b1688ebe2b0c.json");
+    std::fs::write(&path, corrupted).expect("corrupted baseline writes");
+
+    let findings = analyze_baseline_file(&path);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let address = findings
+        .iter()
+        .find(|f| f.lint == "baseline-address")
+        .expect("the address mismatch is flagged");
+    assert_eq!(address.severity, Severity::Error);
+    assert!(
+        address.render().contains("3923b1688ebe2b0c.json"),
+        "the finding names the file: {}",
+        address.render()
+    );
+    assert_eq!(exit_code(&findings), 2);
+}
+
+#[test]
+fn undersized_suite_for_f_is_an_error() {
+    // The acceptance grid: n = 3 sensors with f = 2 violates n > 2f.
+    let base = Scenario::new("lint", SuiteSpec::Widths(vec![5.0, 11.0, 17.0])).with_f(2);
+    let findings = SweepGrid::new(base).analyze();
+    let soundness = findings
+        .iter()
+        .find(|f| f.lint == "fusion-soundness")
+        .expect("the soundness violation is flagged");
+    assert_eq!(soundness.severity, Severity::Error);
+    assert!(
+        soundness.render().contains("cell"),
+        "the finding carries a cell location: {}",
+        soundness.render()
+    );
+    assert_eq!(exit_code(&findings), 2);
+}
+
+#[test]
+fn duplicated_fuser_axis_value_is_a_warning() {
+    let grid = SweepGrid::new(Scenario::new("lint", SuiteSpec::Landshark)).fusers(vec![
+        FuserSpec::Marzullo,
+        FuserSpec::BrooksIyengar,
+        FuserSpec::Marzullo,
+    ]);
+    let findings = grid.analyze();
+    let duplicate = findings
+        .iter()
+        .find(|f| f.lint == "duplicate-axis-value")
+        .expect("the duplicated value is flagged");
+    assert_eq!(duplicate.severity, Severity::Warn);
+    assert!(
+        duplicate.render().contains("fusers axis [0, 2]"),
+        "the finding names the duplicated positions: {}",
+        duplicate.render()
+    );
+    assert_eq!(exit_code(&findings), 1);
+}

@@ -61,6 +61,17 @@ pub enum ScenarioError {
         /// The rejected suite's label.
         suite: String,
     },
+    /// A closed-loop envelope must have a finite target speed and
+    /// finite, non-negative half-widths — the supervisor cannot encode
+    /// anything else.
+    InvalidEnvelope {
+        /// The rejected target speed.
+        target_speed: f64,
+        /// The rejected upper half-width `δ1`.
+        delta_up: f64,
+        /// The rejected lower half-width `δ2`.
+        delta_down: f64,
+    },
     /// A closed-loop platoon needs at least one vehicle.
     EmptyPlatoon,
     /// A closed-loop platoon's initial gap must be a positive finite
@@ -85,6 +96,15 @@ impl core::fmt::Display for ScenarioError {
             ScenarioError::ClosedLoopSuite { suite } => write!(
                 f,
                 "closed-loop scenarios run the LandShark suite, not `{suite}`"
+            ),
+            ScenarioError::InvalidEnvelope {
+                target_speed,
+                delta_up,
+                delta_down,
+            } => write!(
+                f,
+                "closed-loop envelope must have a finite target and finite non-negative \
+                 half-widths, got target {target_speed}, \u{3b4}1 {delta_up}, \u{3b4}2 {delta_down}"
             ),
             ScenarioError::EmptyPlatoon => write!(f, "a platoon needs at least one vehicle"),
             ScenarioError::InvalidPlatoonGap { gap_miles } => write!(
@@ -607,6 +627,18 @@ impl Scenario {
                     suite: self.suite.label(),
                 });
             }
+            let envelope_ok = spec.target_speed.is_finite()
+                && spec.delta_up.is_finite()
+                && spec.delta_up >= 0.0
+                && spec.delta_down.is_finite()
+                && spec.delta_down >= 0.0;
+            if !envelope_ok {
+                return Err(ScenarioError::InvalidEnvelope {
+                    target_speed: spec.target_speed,
+                    delta_up: spec.delta_up,
+                    delta_down: spec.delta_down,
+                });
+            }
             if let Some(platoon) = spec.platoon {
                 if platoon.size == 0 {
                     return Err(ScenarioError::EmptyPlatoon);
@@ -1004,6 +1036,23 @@ mod tests {
             bad_gap.validate(),
             Err(ScenarioError::InvalidPlatoonGap { .. })
         ));
+        // Degenerate envelopes are typed errors instead of supervisor
+        // panics deep inside a sweep worker.
+        for spec in [
+            ClosedLoopSpec::new(f64::NAN),
+            ClosedLoopSpec::new(10.0).with_deltas(-0.5, 0.5),
+            ClosedLoopSpec::new(10.0).with_deltas(0.5, f64::INFINITY),
+        ] {
+            let bad = Scenario::new("bad", SuiteSpec::Landshark).with_closed_loop(spec);
+            assert!(
+                matches!(bad.validate(), Err(ScenarioError::InvalidEnvelope { .. })),
+                "{spec:?} must be rejected"
+            );
+        }
+        assert!(Scenario::new("zero", SuiteSpec::Landshark)
+            .with_closed_loop(ClosedLoopSpec::new(10.0).with_deltas(0.0, 0.0))
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -187,6 +187,82 @@ impl SweepGrid {
         self
     }
 
+    /// The base scenario the grid was built around (its `f`, truth
+    /// trajectory and closed-loop spec apply to every cell).
+    pub fn base(&self) -> &Scenario {
+        &self.base
+    }
+
+    /// The sensor-suite axis values.
+    pub fn suite_axis(&self) -> &[SuiteSpec] {
+        &self.suites
+    }
+
+    /// The fault-injection axis values.
+    pub fn fault_set_axis(&self) -> &[Vec<(usize, FaultModel)>] {
+        &self.fault_sets
+    }
+
+    /// The attacker axis values.
+    pub fn attacker_axis(&self) -> &[AttackerSpec] {
+        &self.attackers
+    }
+
+    /// The schedule axis values.
+    pub fn schedule_axis(&self) -> &[SchedulePolicy] {
+        &self.schedules
+    }
+
+    /// The fusion-algorithm axis values.
+    pub fn fuser_axis(&self) -> &[FuserSpec] {
+        &self.fusers
+    }
+
+    /// The detector axis values.
+    pub fn detector_axis(&self) -> &[DetectionMode] {
+        &self.detectors
+    }
+
+    /// The rounds-per-run axis values.
+    pub fn rounds_axis(&self) -> &[u64] {
+        &self.rounds
+    }
+
+    /// The seed axis values (per-cell seeds are [`derive_seed`]d from
+    /// them).
+    pub fn seed_axis(&self) -> &[u64] {
+        &self.seeds
+    }
+
+    /// The grid-order cell index of the cell with the given per-axis
+    /// coordinates — the inverse of the row-major decoding
+    /// [`SweepGrid::scenario`] performs (seeds fastest, suites slowest).
+    ///
+    /// Static analyses use it to point a finding about an axis *value*
+    /// at a concrete representative cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range for its axis.
+    pub fn cell_index(&self, coords: AxisCoords) -> usize {
+        let axes = [
+            (coords.suite, self.suites.len(), "suite"),
+            (coords.fault_set, self.fault_sets.len(), "fault_set"),
+            (coords.attacker, self.attackers.len(), "attacker"),
+            (coords.schedule, self.schedules.len(), "schedule"),
+            (coords.fuser, self.fusers.len(), "fuser"),
+            (coords.detector, self.detectors.len(), "detector"),
+            (coords.rounds, self.rounds.len(), "rounds"),
+            (coords.seed, self.seeds.len(), "seed"),
+        ];
+        let mut index = 0usize;
+        for (coord, len, axis) in axes {
+            assert!(coord < len, "{axis} coordinate {coord} out of range");
+            index = index * len + coord;
+        }
+        index
+    }
+
     /// The number of grid cells (the product of all axis lengths).
     ///
     /// # Panics
@@ -267,6 +343,28 @@ impl SweepGrid {
             .collect();
         SweepReport { rows }
     }
+}
+
+/// Per-axis coordinates of one grid cell (all default to `0`, the first
+/// value of each axis) — the argument of [`SweepGrid::cell_index`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AxisCoords {
+    /// Index into the suite axis.
+    pub suite: usize,
+    /// Index into the fault-set axis.
+    pub fault_set: usize,
+    /// Index into the attacker axis.
+    pub attacker: usize,
+    /// Index into the schedule axis.
+    pub schedule: usize,
+    /// Index into the fuser axis.
+    pub fuser: usize,
+    /// Index into the detector axis.
+    pub detector: usize,
+    /// Index into the rounds axis.
+    pub rounds: usize,
+    /// Index into the seed axis.
+    pub seed: usize,
 }
 
 /// One grid cell: its index in grid order and the materialised scenario.
@@ -974,6 +1072,63 @@ mod tests {
         let open = SweepGrid::new(attacked_base(10)).run_serial();
         assert!(open.to_csv().lines().nth(1).unwrap().ends_with(",,,"));
         assert!(open.to_json().contains("\"vehicle_mean_widths\":[]"));
+    }
+
+    #[test]
+    fn cell_index_inverts_the_row_major_decoding() {
+        let grid = full_grid(10);
+        // Walk every cell: re-encode its decoded coordinates.
+        for (index, cell) in grid.cells().enumerate() {
+            let coords = AxisCoords {
+                fuser: grid
+                    .fuser_axis()
+                    .iter()
+                    .position(|f| *f == cell.scenario.fuser)
+                    .unwrap(),
+                detector: grid
+                    .detector_axis()
+                    .iter()
+                    .position(|d| *d == cell.scenario.detector)
+                    .unwrap(),
+                schedule: grid
+                    .schedule_axis()
+                    .iter()
+                    .position(|s| *s == cell.scenario.schedule)
+                    .unwrap(),
+                seed: grid
+                    .seed_axis()
+                    .iter()
+                    .position(|s| derive_seed(*s, index as u64) == cell.scenario.seed)
+                    .unwrap(),
+                ..AxisCoords::default()
+            };
+            assert_eq!(grid.cell_index(coords), index);
+        }
+        assert_eq!(grid.cell_index(AxisCoords::default()), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fuser coordinate 9 out of range")]
+    fn out_of_range_axis_coordinate_panics() {
+        let grid = full_grid(10);
+        let _ = grid.cell_index(AxisCoords {
+            fuser: 9,
+            ..AxisCoords::default()
+        });
+    }
+
+    #[test]
+    fn axis_accessors_expose_the_builder_state() {
+        let grid = full_grid(10);
+        assert_eq!(grid.fuser_axis().len(), 4);
+        assert_eq!(grid.detector_axis().len(), 3);
+        assert_eq!(grid.schedule_axis().len(), 2);
+        assert_eq!(grid.seed_axis(), &[2014, 99]);
+        assert_eq!(grid.suite_axis(), &[SuiteSpec::Landshark]);
+        assert_eq!(grid.fault_set_axis(), &[vec![]]);
+        assert_eq!(grid.attacker_axis().len(), 1);
+        assert_eq!(grid.rounds_axis(), &[10]);
+        assert_eq!(grid.base().name, "grid");
     }
 
     #[test]

@@ -126,6 +126,13 @@ impl DiffConfig {
         self
     }
 
+    /// The per-column entries attached via [`DiffConfig::with_column`],
+    /// in insertion order — static analyses use this to flag tolerance
+    /// entries that match no column of a baseline.
+    pub fn column_entries(&self) -> &[(String, Tolerance)] {
+        &self.columns
+    }
+
     /// The tolerance in force for a column: the exact entry if present,
     /// else the family entry (name with any `[index]` suffix stripped),
     /// else the default.

@@ -403,6 +403,35 @@ impl Baseline {
         Self::from_json(&src)
     }
 
+    /// Recomputes the content address of the embedded definition.
+    ///
+    /// A healthy baseline satisfies
+    /// `self.address == self.computed_address()`; anything else means
+    /// the file was hand-edited, corrupted, or written by a buggy tool.
+    pub fn computed_address(&self) -> String {
+        content_address(&self.definition)
+    }
+
+    /// Checks that the stored address matches the recomputed address of
+    /// the embedded definition.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AddressMismatch`] carrying both addresses when they
+    /// disagree — the content-addressing invariant is broken and the
+    /// baseline must not be trusted (or silently re-recorded over).
+    pub fn verify_address(&self) -> Result<(), AddressMismatch> {
+        let computed = self.computed_address();
+        if self.address == computed {
+            Ok(())
+        } else {
+            Err(AddressMismatch {
+                stored: self.address.clone(),
+                computed,
+            })
+        }
+    }
+
     /// Loads the baseline a grid addresses inside a baseline directory.
     ///
     /// # Errors
@@ -420,6 +449,29 @@ fn get<'a>(obj: &'a [(String, json::Json)], key: &str) -> Result<&'a json::Json,
         .map(|(_, value)| value)
         .ok_or_else(|| StoreError::Parse(format!("missing field `{key}`")))
 }
+
+/// A baseline whose stored address does not match the recomputed
+/// address of its embedded definition (see [`Baseline::verify_address`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressMismatch {
+    /// The address stored in the file.
+    pub stored: String,
+    /// The address recomputed from the embedded definition.
+    pub computed: String,
+}
+
+impl fmt::Display for AddressMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stored content address {} does not match the recomputed address {} \
+             of the embedded definition",
+            self.stored, self.computed
+        )
+    }
+}
+
+impl std::error::Error for AddressMismatch {}
 
 /// Errors loading or saving a [`Baseline`].
 #[derive(Debug)]
@@ -868,6 +920,27 @@ mod tests {
             other => panic!("expected NotFound, got {other:?}"),
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_address_catches_corruption() {
+        let grid = SweepGrid::new(attacked_base(12));
+        let mut baseline = Baseline::from_report(&grid, &grid.run_serial());
+        assert_eq!(baseline.verify_address(), Ok(()));
+        assert_eq!(baseline.computed_address(), baseline.address);
+        // Hand-edit the definition: the stored address no longer matches.
+        baseline.definition.push_str("rounds=extra\n");
+        let err = baseline.verify_address().unwrap_err();
+        assert_eq!(err.stored, baseline.address);
+        assert_eq!(err.computed, content_address(&baseline.definition));
+        assert_ne!(err.stored, err.computed);
+        let rendered = err.to_string();
+        assert!(rendered.contains(&err.stored), "{rendered}");
+        assert!(rendered.contains(&err.computed), "{rendered}");
+        // Tampering with the stored address is caught the same way.
+        let mut retagged = Baseline::from_report(&grid, &grid.run_serial());
+        retagged.address = "0000000000000000".to_string();
+        assert!(retagged.verify_address().is_err());
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! | [`attack`] | `arsf-attack` | optimal/expectimax/streaming attackers, worst cases (Thms 3–4) |
 //! | [`bus`] | `arsf-bus` | CAN-like broadcast bus substrate |
 //! | [`core`] | `arsf-core` | the generic fusion engine, scenarios + registry, batch runner, metrics, bus transport |
+//! | [`analyze`] | `arsf-analyze` | static lints over scenarios, sweep grids and golden baselines |
 //! | [`sim`] | `arsf-sim` | vehicle/platoon simulation, Table I & II engines |
 //!
 //! # Quickstart
@@ -68,6 +69,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use arsf_analyze as analyze;
 pub use arsf_attack as attack;
 pub use arsf_bus as bus;
 pub use arsf_core as core;

@@ -143,6 +143,33 @@ fn scenario_registry_round_trips_by_name() {
 }
 
 #[test]
+fn every_registry_preset_validates_builds_and_lints_clean() {
+    // Registry-wide static soundness: every committed preset passes
+    // `Scenario::validate`, constructs its engine (closed-loop config
+    // included) via the fallible entry point, and carries no
+    // error-severity `arsf-analyze` finding — the same bar the CI
+    // `sweep_lint presets` gate enforces.
+    for preset in arsf::core::scenario::registry() {
+        assert!(
+            preset.validate().is_ok(),
+            "{}: {:?}",
+            preset.name,
+            preset.validate()
+        );
+        assert!(
+            ScenarioRunner::try_new(&preset).is_ok(),
+            "{} must construct a runner",
+            preset.name
+        );
+        let errors: Vec<_> = arsf::analyze::analyze_scenario(&preset)
+            .into_iter()
+            .filter(|f| f.severity == arsf::analyze::Severity::Error)
+            .collect();
+        assert!(errors.is_empty(), "{}: {errors:?}", preset.name);
+    }
+}
+
+#[test]
 fn scenario_runs_are_deterministic_given_the_seed() {
     let scenario = Scenario::new("determinism", SuiteSpec::Landshark)
         .with_schedule(SchedulePolicy::Random)
