@@ -12,6 +12,8 @@
 //!   known golden grid references;
 //! * `baseline-missing` (warning) — a known golden grid with no
 //!   recorded baseline file;
+//! * `baseline-skipped` (info) — a `*.json` file whose stem is not a
+//!   content address, so no baseline check ever looks at it;
 //! * `tolerance-dead` (warning, via [`tolerance_findings`]) — a
 //!   configured tolerance column that matches nothing anywhere.
 
@@ -70,7 +72,9 @@ pub fn analyze_baseline_file(path: &Path) -> Vec<Finding> {
 /// stem looks like a content address (16 lowercase hex digits) is
 /// linted with [`analyze_baseline_file`] and checked for orphanhood;
 /// other JSON files (e.g. a throughput report living in the same
-/// directory) are not baselines and are ignored.
+/// directory) are not baselines and are skipped with an info-level
+/// `baseline-skipped` finding each, so a typo'd baseline name stays
+/// visible.
 pub fn analyze_baseline_dir(dir: &Path, known: &[(String, String)]) -> Vec<Finding> {
     let mut findings = Vec::new();
     let entries = match std::fs::read_dir(dir) {
@@ -98,6 +102,18 @@ pub fn analyze_baseline_dir(dir: &Path, known: &[(String, String)]) -> Vec<Findi
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_default();
         if !is_content_address(&stem) {
+            // Not a baseline (e.g. a throughput report sharing the
+            // directory) — but say so, because a typo'd baseline name
+            // would otherwise silently escape every check.
+            findings.push(Finding {
+                lint: "baseline-skipped",
+                severity: Severity::Info,
+                location: Location::File { path: path.clone() },
+                message: format!(
+                    "`{stem}.json` is not a content-addressed baseline (expected a 16-hex \
+                     stem): skipped by every baseline check"
+                ),
+            });
             continue;
         }
         findings.extend(analyze_baseline_file(path));
@@ -254,12 +270,12 @@ mod tests {
     }
 
     #[test]
-    fn directory_pass_reports_orphans_missing_and_skips_non_baselines() {
+    fn directory_pass_reports_orphans_missing_and_skipped_non_baselines() {
         let dir = temp_dir("dir");
         let baseline = tiny_baseline();
         baseline.save(&dir).unwrap();
         // A non-address JSON file (like the committed throughput report)
-        // must be ignored entirely.
+        // is not linted as a baseline, but its skip is made visible.
         std::fs::write(dir.join("throughput.json"), "{}").unwrap();
 
         // Known set: one grid matching the saved file, one unrecorded.
@@ -268,15 +284,19 @@ mod tests {
             ("unrecorded".to_string(), "00000000deadbeef".to_string()),
         ];
         let findings = analyze_baseline_dir(&dir, &known);
-        assert_eq!(findings.len(), 1);
+        assert_eq!(findings.len(), 2);
         assert_eq!(findings[0].lint, "baseline-missing");
         assert!(findings[0].message.contains("00000000deadbeef"));
+        assert_eq!(findings[1].lint, "baseline-skipped");
+        assert_eq!(findings[1].severity, crate::Severity::Info);
+        assert!(findings[1].message.contains("throughput"));
 
         // Drop the known entry: the saved file becomes an orphan.
         let findings = analyze_baseline_dir(&dir, &[]);
-        assert_eq!(findings.len(), 1);
+        assert_eq!(findings.len(), 2);
         assert_eq!(findings[0].lint, "baseline-orphan");
         assert!(findings[0].message.contains(&baseline.address));
+        assert_eq!(findings[1].lint, "baseline-skipped");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -16,7 +16,12 @@
 //!   [`Baseline`](arsf_core::sweep::store::Baseline)s — recomputed
 //!   content addresses, orphaned files, missing recordings — and
 //!   [`tolerance_findings`] flags check-harness tolerances that match no
-//!   column anywhere.
+//!   column anywhere;
+//! * [`guarantee_report`] statically derives each cell's worst-case
+//!   fusion guarantees (bound regime, Theorem-2 width bound,
+//!   truth-containment provability) from the declaration alone, surfaced
+//!   by [`analyze_scenario_guarantees`] / [`analyze_grid_guarantees`]
+//!   and enforced over stored baselines by [`vet_baseline_guarantees`].
 //!
 //! # Lints and severities
 //!
@@ -24,8 +29,13 @@
 //! [`Severity`] and typed [`Finding`]s carrying a [`Location`]. The
 //! built-in rules live in [`registry`]; pass drivers add a few findings
 //! the trait cannot express (`baseline-parse`, `baseline-io`,
-//! `baseline-orphan`, `baseline-missing`, `tolerance-dead`) because they
-//! concern files or cross-file context rather than one parsed value.
+//! `baseline-orphan`, `baseline-missing`, `baseline-skipped`,
+//! `tolerance-dead`, `guarantee-violation`) because they concern files
+//! or cross-file context rather than one parsed value. The guarantee
+//! lints (`guarantee-unbounded`, `guarantee-vacuous`, `guarantee-width`)
+//! form their own dedicated pass ([`guarantee_lints`]), run by
+//! `sweep_lint guarantees` and the record-time gates rather than the
+//! default registry.
 //!
 //! [`Severity::Error`] marks definitions the engines reject or the
 //! paper's theorems void outright; [`Severity::Warn`] marks degenerate
@@ -55,6 +65,7 @@
 
 mod baseline;
 mod grid;
+mod guarantees;
 mod lints;
 
 use std::fmt;
@@ -66,6 +77,10 @@ pub use baseline::{
     analyze_baseline_dir, analyze_baseline_file, tolerance_findings, BaselineContext,
 };
 pub use grid::{analyze_grid, AnalyzeGrid};
+pub use guarantees::{
+    analyze_grid_guarantees, analyze_scenario_guarantees, guarantee_lints, guarantee_report,
+    vet_baseline_guarantees, GuaranteeReport,
+};
 
 /// How bad a finding is.
 ///

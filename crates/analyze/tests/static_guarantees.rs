@@ -1,0 +1,219 @@
+//! Property test bridging the static guarantee layer to the dynamic
+//! engines: any grid the linter passes without error findings, when
+//! actually swept, never produces a cell whose observed widths exceed
+//! its [`GuaranteeReport`](arsf_analyze::GuaranteeReport) bound — and
+//! never loses the truth in a cell whose containment the report proves.
+//!
+//! The pools deliberately cross every fuser with silence, corruption,
+//! ramping truth and closed-loop execution, so the static evaluator's
+//! worst-case-over-silent-configurations reasoning, its per-fuser bound
+//! formulas and its containment side conditions are all exercised
+//! against real simulated rounds.
+
+use arsf_analyze::{analyze_grid, guarantee_report, Severity};
+use arsf_core::scenario::{
+    AttackerSpec, ClosedLoopSpec, FuserSpec, Scenario, StrategySpec, SuiteSpec, TruthSpec,
+};
+use arsf_core::sweep::SweepGrid;
+use arsf_core::DetectionMode;
+use arsf_sensor::{FaultKind, FaultModel};
+use proptest::prelude::*;
+
+/// Slack for comparing observed widths against derived bounds: the
+/// bounds are exact width sums, the observations accumulate rounding.
+const EPSILON: f64 = 1e-9;
+
+fn suite_pool(i: usize) -> SuiteSpec {
+    match i % 3 {
+        0 => SuiteSpec::Landshark,
+        1 => SuiteSpec::Widths(vec![5.0, 11.0, 17.0]),
+        _ => SuiteSpec::Widths(vec![4.0, 8.0, 12.0, 16.0, 20.0]),
+    }
+}
+
+fn fuser_pool(i: usize) -> FuserSpec {
+    match i % 8 {
+        0 => FuserSpec::Marzullo,
+        1 => FuserSpec::BrooksIyengar,
+        2 => FuserSpec::Intersection,
+        3 => FuserSpec::Hull,
+        4 => FuserSpec::InverseVariance,
+        5 => FuserSpec::MidpointMedian,
+        // A dynamics bound loose enough to track the slow ramp…
+        6 => FuserSpec::Historical {
+            max_rate: 3.5,
+            dt: 0.1,
+        },
+        // …and one too tight for any drifting truth.
+        _ => FuserSpec::Historical {
+            max_rate: 0.001,
+            dt: 0.1,
+        },
+    }
+}
+
+fn attacker_pool(i: usize) -> AttackerSpec {
+    let fixed = |sensors: Vec<usize>, strategy| AttackerSpec::Fixed { sensors, strategy };
+    match i % 6 {
+        0 => AttackerSpec::None,
+        1 => fixed(vec![0], StrategySpec::PhantomOptimal),
+        2 => fixed(vec![2], StrategySpec::GreedyLow),
+        3 => fixed(vec![0, 1], StrategySpec::GreedyHigh),
+        4 => fixed(vec![1], StrategySpec::Truthful),
+        _ => AttackerSpec::RandomEachRound,
+    }
+}
+
+fn fault_set_pool(i: usize) -> Vec<(usize, FaultModel)> {
+    match i % 5 {
+        0 => vec![],
+        1 => vec![(0, FaultModel::new(FaultKind::Bias { offset: 3.0 }, 0.25))],
+        2 => vec![(3, FaultModel::new(FaultKind::Silent, 0.5))],
+        3 => vec![
+            (1, FaultModel::new(FaultKind::Silent, 1.0)),
+            (2, FaultModel::new(FaultKind::StuckAt { value: 12.0 }, 0.3)),
+        ],
+        _ => vec![(2, FaultModel::new(FaultKind::Scale { factor: 1.5 }, 0.4))],
+    }
+}
+
+fn truth_pool(i: usize) -> TruthSpec {
+    match i % 3 {
+        0 => TruthSpec::Constant(10.0),
+        // Within the loose historical dynamics bound (0.3 ≤ 3.5 · 0.1).
+        1 => TruthSpec::Ramp {
+            start: 10.0,
+            rate_per_round: 0.3,
+        },
+        _ => TruthSpec::Ramp {
+            start: 10.0,
+            rate_per_round: -2.0,
+        },
+    }
+}
+
+/// Guards the property above against vacuity: over an exhaustive walk
+/// of the small pool cross-product, a healthy share of grids must
+/// survive the linter, and among the surviving cells there must be both
+/// bounded-width ones and provable-containment ones — otherwise the
+/// bridge property would be quietly checking nothing.
+#[test]
+fn the_pools_exercise_bounded_and_containment_cells() {
+    let mut ran = 0usize;
+    let mut bounded = 0usize;
+    let mut contained = 0usize;
+    for fuser in 0..8 {
+        for attacker in 0..6 {
+            for faults in 0..5 {
+                let base = Scenario::new("prop-coverage", SuiteSpec::Landshark)
+                    .with_f(1)
+                    .with_rounds(1)
+                    .with_detector(DetectionMode::Immediate);
+                let grid = SweepGrid::new(base)
+                    .fusers(vec![fuser_pool(fuser)])
+                    .attackers(vec![attacker_pool(attacker)])
+                    .fault_sets(vec![fault_set_pool(faults)]);
+                if analyze_grid(&grid)
+                    .iter()
+                    .any(|f| f.severity == Severity::Error)
+                {
+                    continue;
+                }
+                for cell in 0..grid.len() {
+                    let report = guarantee_report(&grid.scenario(cell));
+                    ran += 1;
+                    bounded += usize::from(report.width_bound.is_some());
+                    contained += usize::from(report.truth_containment);
+                }
+            }
+        }
+    }
+    assert!(ran >= 100, "only {ran} lint-clean cells in the pool walk");
+    assert!(bounded * 2 >= ran, "only {bounded}/{ran} cells bounded");
+    assert!(
+        contained >= 10,
+        "only {contained}/{ran} cells containment-provable"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lint_clean_grids_never_exceed_their_static_bounds(
+        suite in 0usize..3,
+        f in 0usize..3,
+        fuser_a in 0usize..8,
+        fuser_b in 0usize..8,
+        attacker in 0usize..6,
+        faults in 0usize..5,
+        truth in 0usize..3,
+        closed_loop in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        // Closed-loop execution physically requires the LandShark suite;
+        // force it so the draw exercises the vehicle path instead of
+        // being rejected by the structural linter.
+        let suite = if closed_loop > 0 { SuiteSpec::Landshark } else { suite_pool(suite) };
+        let mut base = Scenario::new("prop-guarantee", suite)
+            .with_f(f)
+            .with_truth(truth_pool(truth))
+            .with_rounds(12)
+            .with_seed(seed)
+            .with_detector(DetectionMode::Immediate);
+        match closed_loop {
+            1 => base = base.with_closed_loop(ClosedLoopSpec::new(10.0)),
+            2 => base = base.with_closed_loop(ClosedLoopSpec::new(10.0).with_platoon(2, 0.05)),
+            _ => {}
+        }
+        let grid = SweepGrid::new(base)
+            .fusers(vec![fuser_pool(fuser_a), fuser_pool(fuser_b)])
+            .attackers(vec![AttackerSpec::None, attacker_pool(attacker)])
+            .fault_sets(vec![fault_set_pool(faults)]);
+
+        if analyze_grid(&grid).iter().any(|f| f.severity == Severity::Error) {
+            // The structural linter rejected the grid; cells may not run.
+            return Ok(());
+        }
+
+        let report = grid.run_serial();
+        for row in report.rows() {
+            let guarantees = guarantee_report(&grid.scenario(row.cell));
+            if let Some(bound) = guarantees.width_bound {
+                if let Some(observed) = row.summary.widths.max() {
+                    prop_assert!(
+                        observed <= bound + EPSILON,
+                        "cell {}: observed max width {observed} exceeds static bound {bound} \
+                         ({guarantees:?})",
+                        row.cell
+                    );
+                }
+                for (vehicle, summary) in row.summary.vehicles.iter().enumerate() {
+                    if let Some(observed) = summary.widths.max() {
+                        prop_assert!(
+                            observed <= bound + EPSILON,
+                            "cell {} vehicle {vehicle}: observed max width {observed} exceeds \
+                             static bound {bound}",
+                            row.cell
+                        );
+                    }
+                }
+            }
+            if guarantees.truth_containment {
+                prop_assert_eq!(
+                    row.summary.truth_lost, 0,
+                    "cell {}: truth lost {} times despite statically provable containment \
+                     ({:?})",
+                    row.cell, row.summary.truth_lost, &guarantees
+                );
+                for (vehicle, summary) in row.summary.vehicles.iter().enumerate() {
+                    prop_assert_eq!(
+                        summary.truth_lost, 0,
+                        "cell {} vehicle {vehicle}: truth lost despite provable containment",
+                        row.cell
+                    );
+                }
+            }
+        }
+    }
+}

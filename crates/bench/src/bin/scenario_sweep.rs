@@ -61,7 +61,9 @@
 //!   golden-grid workflow and the full tolerance semantics). `record`
 //!   refuses to freeze a grid that `arsf-analyze` flags with
 //!   error-severity findings — run `sweep_lint grid` with the same
-//!   flags to see them ahead of time
+//!   flags to see them ahead of time — and a grid containing cells with
+//!   no static width bound, unless `--allow-unbounded` is passed (run
+//!   `sweep_lint guarantees` for the per-cell verdicts)
 //! * `--baseline-dir path` — the baseline directory (default
 //!   `baselines`)
 
@@ -198,6 +200,23 @@ fn main() {
                         eprintln!("{}", finding.render());
                     }
                     fail("refusing to record a baseline for a grid with error-severity lint findings");
+                }
+                // Likewise refuse cells with no static width bound: the
+                // recorded numbers would be unfalsifiable against the
+                // paper's guarantees.
+                let unbounded: Vec<_> = arsf_analyze::analyze_grid_guarantees(grid)
+                    .into_iter()
+                    .filter(|f| f.lint == "guarantee-unbounded")
+                    .collect();
+                if !unbounded.is_empty() && !has_flag("--allow-unbounded") {
+                    for finding in &unbounded {
+                        eprintln!("{}", finding.render());
+                    }
+                    fail(&format!(
+                        "refusing to record a baseline: {} cell(s) have no static width \
+                         bound (pass --allow-unbounded to record anyway)",
+                        unbounded.len()
+                    ));
                 }
                 match current.save(&dir) {
                     Ok(path) => println!("recorded baseline {}", path.display()),

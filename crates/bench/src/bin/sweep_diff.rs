@@ -9,7 +9,9 @@
 //!   `<dir>/<content-address>.json` for each (overwrites the grid's own
 //!   file only; other addresses are untouched). Re-record after an
 //!   *intentional* algorithm change. Refuses a grid that `arsf-analyze`
-//!   flags with error-severity findings.
+//!   flags with error-severity findings, or one containing cells whose
+//!   declared budget admits no static width bound (`--allow-unbounded`
+//!   overrides the latter).
 //! * `check` — run the golden grid(s) and diff each against its stored
 //!   baseline, printing every drifted cell's grid index, column,
 //!   baseline value and new value.
@@ -36,7 +38,7 @@
 
 use std::process::exit;
 
-use arsf_analyze::{AnalyzeGrid, Severity};
+use arsf_analyze::{analyze_grid_guarantees, AnalyzeGrid, Severity};
 use arsf_bench::cli::parse_tolerances;
 use arsf_bench::{arg_value, golden, has_flag};
 use arsf_core::sweep::diff::{diff, DiffConfig, SweepDiff};
@@ -109,6 +111,23 @@ fn record(dir: &str) {
                 "refusing to record {name}: the grid has error-severity lint findings"
             ));
         }
+        // A cell whose declared budget admits no static width bound
+        // records unfalsifiable numbers; freezing those as a baseline
+        // needs an explicit opt-in.
+        let unbounded: Vec<_> = analyze_grid_guarantees(&grid)
+            .into_iter()
+            .filter(|f| f.lint == "guarantee-unbounded")
+            .collect();
+        if !unbounded.is_empty() && !has_flag("--allow-unbounded") {
+            for finding in &unbounded {
+                eprintln!("{}", finding.render());
+            }
+            fail(&format!(
+                "refusing to record {name}: {} cell(s) have no static width bound \
+                 (pass --allow-unbounded to record anyway)",
+                unbounded.len()
+            ));
+        }
         let baseline = run_baseline(&grid, &sweeper);
         match baseline.save(dir) {
             Ok(path) => println!(
@@ -164,10 +183,12 @@ fn diff_files(a: &str, b: &str) {
 const USAGE: &str = "\
 usage: sweep_diff <record|check|diff a.json b.json>
                   [--grid name] [--dir path] [--threads k]
-                  [--tol col=abs[:rel],...]
+                  [--tol col=abs[:rel],...] [--allow-unbounded]
 
   record   run the golden grid(s), write <dir>/<content-address>.json
-           (refuses grids with error-severity arsf-analyze findings)
+           (refuses grids with error-severity arsf-analyze findings, and
+            grids containing cells with no static width bound unless
+            --allow-unbounded is passed)
   check    re-run the golden grid(s), diff against stored baselines
   diff     compare two baseline files directly
 
@@ -192,8 +213,10 @@ fn main() {
         for arg in &args {
             if skip {
                 skip = false;
+            } else if arg == "--allow-unbounded" {
+                // the one boolean flag: takes no value
             } else if arg.starts_with("--") {
-                skip = true; // all our flags take a value
+                skip = true; // every other flag takes a value
             } else {
                 positional.push(arg.clone());
             }

@@ -20,11 +20,17 @@
 //!   orphaned files, missing recordings; with `--tol col=abs[:rel],…`
 //!   also flags tolerance entries that match no column in any stored
 //!   baseline.
+//! * `guarantees` — statically derive every golden-grid cell's
+//!   worst-case fusion guarantees (bound regime, Theorem-2 width bound,
+//!   truth-containment provability) without running a single simulation
+//!   round, then vet each stored baseline's width and truth-loss
+//!   columns against them — a soundness oracle: a recorded cell that
+//!   violates a theorem is a `guarantee-violation` error.
 //!
 //! Options:
 //! * `--json` — emit findings as a JSON array instead of text
-//! * `--dir path` — the baseline directory (`baselines` subcommand
-//!   only; default `baselines`)
+//! * `--dir path` — the baseline directory (`baselines` and
+//!   `guarantees` subcommands; default `baselines`)
 //! * `--tol col=abs[:rel],…` — check-harness tolerances to vet
 //!   (`baselines` subcommand only)
 //!
@@ -36,8 +42,9 @@ use std::path::Path;
 use std::process::exit;
 
 use arsf_analyze::{
-    analyze_baseline_dir, analyze_scenario, exit_code, render, render_json, tolerance_findings,
-    AnalyzeGrid, Finding,
+    analyze_baseline_dir, analyze_grid_guarantees, analyze_scenario, exit_code, render,
+    render_json, tolerance_findings, vet_baseline_guarantees, AnalyzeGrid, Finding, Location,
+    Severity,
 };
 use arsf_bench::cli::{grid_from_args, parse_tolerances};
 use arsf_bench::{arg_value, golden, has_flag};
@@ -46,15 +53,18 @@ use arsf_core::sweep::diff::DiffConfig;
 use arsf_core::sweep::store::{baseline_path, grid_address, Baseline};
 
 const USAGE: &str = "\
-usage: sweep_lint <presets|grid|baselines> [--json]
+usage: sweep_lint <presets|grid|baselines|guarantees> [--json]
 
-  presets    lint every registry preset
-  grid       lint the sweep grid described by scenario_sweep's flags
-             (--fusers, --detectors, --schedules, --seeds, --history,
-              --suite, --fault, --strategy, --honest, --f, --rounds,
-              --closed-loop, --target, --deltas, --platoon)
-  baselines  lint the baseline directory against the golden grids
-             [--dir path] [--tol col=abs[:rel],...]
+  presets     lint every registry preset
+  grid        lint the sweep grid described by scenario_sweep's flags
+              (--fusers, --detectors, --schedules, --seeds, --history,
+               --suite, --fault, --strategy, --honest, --f, --rounds,
+               --closed-loop, --target, --deltas, --platoon)
+  baselines   lint the baseline directory against the golden grids
+              [--dir path] [--tol col=abs[:rel],...]
+  guarantees  derive every golden-grid cell's static fusion guarantees
+              (no simulation) and vet the stored baselines against them
+              [--dir path]
 
 exit codes:
   0  clean    - no findings above info severity
@@ -120,6 +130,45 @@ fn baselines() -> ! {
     emit(&findings)
 }
 
+fn guarantees() -> ! {
+    let dir = arg_value("--dir").unwrap_or_else(|| "baselines".to_string());
+    let mut findings = Vec::new();
+    for (name, grid) in golden::all() {
+        // Static pass: derive every cell's bound (or no-bound verdict)
+        // without running a single simulation round. The cell location
+        // is kept; the message is prefixed with the grid so two grids'
+        // cell indices stay distinguishable.
+        for mut finding in analyze_grid_guarantees(&grid) {
+            finding.message = format!("golden grid `{name}`: {}", finding.message);
+            findings.push(finding);
+        }
+        // Vetting pass: every stored cell record must respect its
+        // statically derived bound.
+        let address = grid_address(&grid);
+        let path = baseline_path(&dir, &address);
+        match Baseline::load(&path) {
+            Ok(baseline) => findings.extend(vet_baseline_guarantees(
+                &grid,
+                &baseline,
+                &Location::File { path },
+            )),
+            Err(_) => findings.push(Finding {
+                lint: "baseline-missing",
+                severity: Severity::Warn,
+                location: Location::Grid {
+                    name: name.to_string(),
+                },
+                message: format!(
+                    "no stored baseline {address}.json in {dir} to vet against the static \
+                     guarantees"
+                ),
+            }),
+        }
+    }
+    findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
+    emit(&findings)
+}
+
 fn main() {
     if has_flag("--help") || has_flag("-h") {
         print!("{USAGE}");
@@ -129,6 +178,7 @@ fn main() {
         Some("presets") => presets(),
         Some("grid") => grid(),
         Some("baselines") => baselines(),
+        Some("guarantees") => guarantees(),
         _ => {
             eprint!("{USAGE}");
             exit(2);

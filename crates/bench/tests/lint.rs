@@ -4,13 +4,23 @@
 //! file-level location, and the acceptance grids (a 3-sensor suite under
 //! `f = 2`, a duplicated fuser axis value) must produce the documented
 //! severities and exit codes.
+//!
+//! The guarantee layer is covered end to end as well: every golden-grid
+//! cell derives a static width bound without simulating, the committed
+//! baselines vet clean against those bounds, and a hand-corrupted cell
+//! (width past its Theorem-2 bound, or truth loss where containment is
+//! provable) is flagged with its cell index, column, bound and observed
+//! value at the error tier.
 
 use std::path::{Path, PathBuf};
 
-use arsf_analyze::{analyze_baseline_dir, analyze_baseline_file, exit_code, AnalyzeGrid, Severity};
+use arsf_analyze::{
+    analyze_baseline_dir, analyze_baseline_file, analyze_grid_guarantees, exit_code,
+    vet_baseline_guarantees, AnalyzeGrid, Location, Severity,
+};
 use arsf_bench::golden;
 use arsf_core::scenario::{FuserSpec, Scenario, SuiteSpec};
-use arsf_core::sweep::store::grid_address;
+use arsf_core::sweep::store::{baseline_path, grid_address, Baseline};
 use arsf_core::sweep::SweepGrid;
 
 /// The committed baseline directory at the workspace root.
@@ -38,9 +48,127 @@ fn golden_grids_are_lint_clean() {
 
 #[test]
 fn committed_baseline_directory_is_lint_clean() {
+    // The directory also holds `throughput.json` (a perf budget, not a
+    // baseline), so exactly the info-tier skip notes are allowed.
     let findings = analyze_baseline_dir(&baselines_dir(), &known_grids());
-    assert!(findings.is_empty(), "baseline findings: {findings:?}");
+    for finding in &findings {
+        assert_eq!(
+            (finding.lint, finding.severity),
+            ("baseline-skipped", Severity::Info),
+            "unexpected baseline finding: {finding:?}"
+        );
+    }
     assert_eq!(exit_code(&findings), 0);
+}
+
+#[test]
+fn non_baseline_files_are_reported_as_skipped() {
+    let findings = analyze_baseline_dir(&baselines_dir(), &known_grids());
+    let skipped = findings
+        .iter()
+        .find(|f| f.lint == "baseline-skipped")
+        .expect("throughput.json draws a skip note");
+    assert_eq!(skipped.severity, Severity::Info);
+    assert!(
+        skipped.message.contains("throughput.json"),
+        "the note names the file: {}",
+        skipped.message
+    );
+}
+
+#[test]
+fn golden_grids_derive_static_guarantees_for_every_cell() {
+    // The acceptance property: the full golden grids get a width bound
+    // for every single cell purely statically — no simulation — and
+    // nothing worse than an info note.
+    for (name, grid) in golden::all() {
+        let findings = analyze_grid_guarantees(&grid);
+        assert_eq!(
+            findings.len(),
+            grid.len(),
+            "golden grid {name}: expected one guarantee note per cell, got {findings:?}"
+        );
+        for finding in &findings {
+            assert_eq!(
+                (finding.lint, finding.severity),
+                ("guarantee-width", Severity::Info),
+                "golden grid {name}: {finding:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn committed_baselines_respect_their_static_bounds() {
+    for (name, grid) in golden::all() {
+        let path = baseline_path(baselines_dir(), &grid_address(&grid));
+        let baseline = Baseline::load(&path).expect("committed baseline loads");
+        let findings = vet_baseline_guarantees(&grid, &baseline, &Location::File { path });
+        assert!(
+            findings.is_empty(),
+            "golden grid {name}: committed baseline violates its static bounds: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn corrupted_cell_width_is_flagged_against_its_theorem_bound() {
+    // Hand-corrupt one stored cell's max width past its static
+    // Theorem-2 bound; the vetting pass must name the cell, the column,
+    // the bound, and the observed value — and fail with exit code 2.
+    let grid = golden::find("open-loop-48").expect("the open-loop golden grid exists");
+    let path = baseline_path(baselines_dir(), &grid_address(&grid));
+    let mut baseline = Baseline::load(&path).expect("committed baseline loads");
+    let slot = baseline.rows[0]
+        .metrics
+        .iter_mut()
+        .find(|(name, _)| name == "max_width")
+        .expect("cell 0 records a max_width column");
+    slot.1 = Some(99.0);
+
+    let findings = vet_baseline_guarantees(&grid, &baseline, &Location::File { path });
+    let violation = findings
+        .iter()
+        .find(|f| f.lint == "guarantee-violation")
+        .expect("the corrupted width is flagged");
+    assert_eq!(violation.severity, Severity::Error);
+    for needle in ["cell 0", "max_width", "99", "2"] {
+        assert!(
+            violation.message.contains(needle),
+            "the finding should mention `{needle}`: {}",
+            violation.message
+        );
+    }
+    assert_eq!(exit_code(&findings), 2);
+}
+
+#[test]
+fn corrupted_truth_loss_is_flagged_when_containment_is_provable() {
+    // Cell 0 of the open-loop grid fuses with Marzullo under an attack
+    // within budget: containment is provable, so a nonzero stored
+    // truth-loss count is a guarantee violation too.
+    let grid = golden::find("open-loop-48").expect("the open-loop golden grid exists");
+    let path = baseline_path(baselines_dir(), &grid_address(&grid));
+    let mut baseline = Baseline::load(&path).expect("committed baseline loads");
+    let slot = baseline.rows[0]
+        .metrics
+        .iter_mut()
+        .find(|(name, _)| name == "truth_lost")
+        .expect("cell 0 records a truth_lost column");
+    slot.1 = Some(3.0);
+
+    let findings = vet_baseline_guarantees(&grid, &baseline, &Location::File { path });
+    let violation = findings
+        .iter()
+        .find(|f| f.lint == "guarantee-violation")
+        .expect("the corrupted truth-loss count is flagged");
+    assert_eq!(violation.severity, Severity::Error);
+    assert!(
+        violation.message.contains("truth_lost"),
+        "the finding names the column: {}",
+        violation.message
+    );
+    assert_eq!(exit_code(&findings), 2);
 }
 
 #[test]

@@ -145,6 +145,17 @@ impl SuiteSpec {
         }
     }
 
+    /// The declared interval widths of the built suite, in sensor-id
+    /// order — the a-priori information the paper's static guarantees
+    /// (Marzullo's regime conditions, Theorem 2) are computed from,
+    /// without sampling a single reading.
+    pub fn widths(&self) -> Vec<f64> {
+        match self {
+            SuiteSpec::Landshark => self.build().widths(),
+            SuiteSpec::Widths(widths) => widths.clone(),
+        }
+    }
+
     /// Whether the built suite would be empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -445,6 +456,35 @@ impl ClosedLoopSpec {
     }
 }
 
+/// The a-priori corruption model of one scenario — everything the static
+/// guarantee analysis (Marzullo's regime conditions, Theorem 2) needs,
+/// extracted from the declaration alone: no sensors built, no rounds run.
+///
+/// Produced by [`Scenario::static_model`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct StaticModel {
+    /// Declared interval widths, in sensor-id order.
+    pub widths: Vec<f64>,
+    /// The fusion fault assumption `f`.
+    pub f: usize,
+    /// Worst-case number of *transmitting* sensors whose intervals may
+    /// exclude the truth in one round: the distinct sensors carrying a
+    /// non-silent fault, union the fixed compromised set, plus one for a
+    /// random-each-round attacker — capped at the suite size.
+    pub corrupt: usize,
+    /// Number of distinct sensors a `Silent` fault can drop from a round
+    /// (the worst case silences all of them at once).
+    pub silent: usize,
+    /// Worst-case per-round drift `|Δtruth|` of the measured variable:
+    /// `Some(0.0)` for constant truth, the absolute ramp rate for a
+    /// ramp, and `None` closed-loop, where the truth is the vehicle's
+    /// actual speed and no static drift bound exists.
+    pub truth_rate: Option<f64>,
+    /// Fused outputs per round: the platoon size closed-loop, else 1.
+    pub vehicles: usize,
+}
+
 /// A complete, declarative experiment description.
 ///
 /// # Example
@@ -590,6 +630,62 @@ impl Scenario {
     pub fn with_closed_loop(mut self, spec: ClosedLoopSpec) -> Self {
         self.closed_loop = Some(spec);
         self
+    }
+
+    /// Extracts the [`StaticModel`] this scenario declares: widths, the
+    /// fault assumption, and the worst-case corruption/silence budgets,
+    /// all without building a sensor or running a round.
+    ///
+    /// A sensor carrying both a silent and a corrupting fault counts in
+    /// both budgets — over rounds, either can manifest, and the analysis
+    /// takes the worst case. Fault probabilities are ignored (a fault
+    /// that *can* fire counts), and out-of-range indices are capped at
+    /// the suite size ([`Scenario::validate`] reports them as errors).
+    pub fn static_model(&self) -> StaticModel {
+        use std::collections::BTreeSet;
+        let widths = self.suite.widths();
+        let n = widths.len();
+        let mut silent = BTreeSet::new();
+        let mut corrupt = BTreeSet::new();
+        for (sensor, fault) in &self.faults {
+            if matches!(fault.kind(), arsf_sensor::FaultKind::Silent) {
+                silent.insert(*sensor);
+            } else {
+                corrupt.insert(*sensor);
+            }
+        }
+        let extra = match &self.attacker {
+            AttackerSpec::None => 0,
+            AttackerSpec::Fixed { sensors, strategy } => {
+                // A truthful "attacker" transmits the correct reading.
+                if *strategy != StrategySpec::Truthful {
+                    corrupt.extend(sensors.iter().copied());
+                }
+                0
+            }
+            AttackerSpec::RandomEachRound => 1,
+        };
+        let truth_rate = if self.closed_loop.is_some() {
+            None
+        } else {
+            Some(match self.truth {
+                TruthSpec::Constant(_) => 0.0,
+                TruthSpec::Ramp { rate_per_round, .. } => rate_per_round.abs(),
+            })
+        };
+        let vehicles = self
+            .closed_loop
+            .as_ref()
+            .and_then(|spec| spec.platoon.as_ref())
+            .map_or(1, |platoon| platoon.size.max(1));
+        StaticModel {
+            widths,
+            f: self.f,
+            corrupt: (corrupt.len() + extra).min(n),
+            silent: silent.len().min(n),
+            truth_rate,
+            vehicles,
+        }
     }
 
     /// Checks the scenario for combinations the engines genuinely cannot
@@ -963,6 +1059,59 @@ mod tests {
         for spec in specs {
             assert_eq!(spec.build(1).name(), spec.name());
         }
+    }
+
+    #[test]
+    fn static_model_extracts_widths_and_budgets() {
+        let scenario = Scenario::new("sm", SuiteSpec::Landshark)
+            .with_fault(2, FaultModel::new(arsf_sensor::FaultKind::Silent, 0.5))
+            .with_fault(
+                3,
+                FaultModel::new(arsf_sensor::FaultKind::Bias { offset: 3.0 }, 0.2),
+            )
+            .with_attacker(AttackerSpec::Fixed {
+                sensors: vec![0, 3],
+                strategy: StrategySpec::PhantomOptimal,
+            });
+        let model = scenario.static_model();
+        assert_eq!(model.widths, vec![0.2, 0.2, 1.0, 2.0]);
+        assert_eq!(model.f, 1);
+        // Sensor 3 is faulted *and* attacked: distinct count is {0, 3}.
+        assert_eq!(model.corrupt, 2);
+        assert_eq!(model.silent, 1);
+        assert_eq!(model.truth_rate, Some(0.0));
+        assert_eq!(model.vehicles, 1);
+    }
+
+    #[test]
+    fn static_model_truthful_attacker_does_not_corrupt() {
+        let scenario =
+            Scenario::new("sm", SuiteSpec::Landshark).with_attacker(AttackerSpec::Fixed {
+                sensors: vec![0],
+                strategy: StrategySpec::Truthful,
+            });
+        assert_eq!(scenario.static_model().corrupt, 0);
+    }
+
+    #[test]
+    fn static_model_random_attacker_adds_one_corruption() {
+        let scenario =
+            Scenario::new("sm", SuiteSpec::Landshark).with_attacker(AttackerSpec::RandomEachRound);
+        assert_eq!(scenario.static_model().corrupt, 1);
+    }
+
+    #[test]
+    fn static_model_closed_loop_platoon_and_unknown_drift() {
+        let scenario = Scenario::new("sm", SuiteSpec::Landshark)
+            .with_closed_loop(ClosedLoopSpec::new(10.0).with_platoon(3, 0.05));
+        let model = scenario.static_model();
+        assert_eq!(model.vehicles, 3);
+        assert_eq!(model.truth_rate, None);
+        let ramp = Scenario::new("sm", SuiteSpec::Landshark).with_truth(TruthSpec::Ramp {
+            start: 5.0,
+            rate_per_round: -0.25,
+        });
+        assert_eq!(ramp.static_model().truth_rate, Some(0.25));
     }
 
     #[test]

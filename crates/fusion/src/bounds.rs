@@ -179,6 +179,125 @@ pub fn check_bounds<T: Scalar>(
     })
 }
 
+/// Theorem 2, evaluated statically from *declared* widths alone: the sum
+/// of the two widest widths in `widths`, or the single width when only
+/// one sensor is declared (the hull of one correct interval is itself),
+/// or `None` when `widths` is empty.
+///
+/// Unlike [`theorem2_bound`], which needs the concrete intervals of a
+/// simulated round, this needs only the a-priori width vector a sensor
+/// suite publishes — so it can bound a scenario before any round is run.
+///
+/// # Example
+///
+/// ```
+/// use arsf_fusion::bounds::static_theorem2_bound;
+///
+/// assert_eq!(static_theorem2_bound(&[5.0, 11.0, 17.0]), Some(28.0));
+/// assert_eq!(static_theorem2_bound(&[5.0]), Some(5.0));
+/// assert_eq!(static_theorem2_bound(&[]), None);
+/// ```
+pub fn static_theorem2_bound(widths: &[f64]) -> Option<f64> {
+    let (mut first, mut second) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for &w in widths {
+        if w > first {
+            second = first;
+            first = w;
+        } else if w > second {
+            second = w;
+        }
+    }
+    if widths.is_empty() {
+        None
+    } else {
+        Some(first + second.max(0.0))
+    }
+}
+
+/// Worst-case fused width for Marzullo-style fusion, derived from the
+/// declared width vector alone — no intervals, no rounds.
+///
+/// * `widths` — declared widths of **all** `n` sensors. Taking the full
+///   suite is sound even when some sensors are absent, because dropping
+///   an interval can only shrink the two-widest sum and the maximum.
+/// * `present` — the number of sensors actually transmitting this round
+///   (declared `n` minus silenced sensors); the regime is decided on
+///   this count, exactly as the fuser clamps at runtime.
+/// * `f` — the fault assumption, clamped to `present - 1` like every
+///   `Fuser` implementation does.
+/// * `corrupt` — the worst-case number of *transmitting* sensors whose
+///   intervals may exclude the truth (faulted or attacked).
+///
+/// Returns `None` when no finite bound is provable:
+///
+/// * `corrupt > f` — more corruption than the fault assumption covers;
+///   Marzullo's guarantees are void,
+/// * `f ≥ ⌈present/2⌉` with `corrupt > 0` — the unbounded regime,
+/// * `present == 0` — nothing transmits, nothing is fused.
+///
+/// In the `f < ⌈present/3⌉` regime (or with no corruption in any
+/// `f < ⌈present/2⌉` regime) the bound is the widest declared width; in
+/// the `f < ⌈present/2⌉` regime with live corruption it is Theorem 2's
+/// two-widest sum; an honest suite under an oversized `f` still fuses
+/// within the hull of correct intervals, so the two-widest sum applies.
+pub fn static_width_bound(widths: &[f64], present: usize, f: usize, corrupt: usize) -> Option<f64> {
+    if present == 0 || widths.is_empty() {
+        return None;
+    }
+    let f = f.min(present - 1);
+    let corrupt = corrupt.min(present);
+    if corrupt > f {
+        return None;
+    }
+    let widest = widths.iter().copied().fold(0.0_f64, f64::max);
+    match regime(present, f) {
+        BoundRegime::CorrectWidthBounded => Some(widest),
+        BoundRegime::SomeWidthBounded if corrupt == 0 => Some(widest),
+        BoundRegime::SomeWidthBounded => static_theorem2_bound(widths),
+        // An honest suite under an oversized f still fuses inside the
+        // hull of correct intervals, which Theorem 2 bounds; any live
+        // corruption in this regime is genuinely unbounded.
+        BoundRegime::Unbounded if corrupt == 0 => static_theorem2_bound(widths),
+        BoundRegime::Unbounded => None,
+    }
+}
+
+/// [`static_width_bound`] for the historical (dynamics-bound) fuser.
+///
+/// The historical fuser intersects the memoryless Marzullo interval with
+/// the propagated previous output and falls back to the memoryless
+/// interval on conflict — its output is never wider than the memoryless
+/// fusion, so the memoryless static bound carries over unchanged. The
+/// `max_rate`/`dt` pair is validated (a non-finite or negative dynamics
+/// bound voids the guarantee) but does not tighten the width bound: the
+/// history only ever *refines* the interval.
+pub fn historical_width_bound(
+    widths: &[f64],
+    present: usize,
+    f: usize,
+    corrupt: usize,
+    max_rate: f64,
+    dt: f64,
+) -> Option<f64> {
+    if !max_rate.is_finite() || max_rate < 0.0 || !dt.is_finite() {
+        return None;
+    }
+    static_width_bound(widths, present, f, corrupt)
+}
+
+/// Per-vehicle worst-case widths for a platoon: every vehicle carries an
+/// identical sensor suite and fuses independently, so the scalar bound
+/// replicates across the platoon.
+pub fn platoon_width_bounds(
+    widths: &[f64],
+    present: usize,
+    f: usize,
+    corrupt: usize,
+    vehicles: usize,
+) -> Vec<Option<f64>> {
+    vec![static_width_bound(widths, present, f, corrupt); vehicles]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,5 +383,63 @@ mod tests {
     #[test]
     fn fusion_errors_propagate() {
         assert!(check_bounds::<f64>(&[], &[], 0).is_err());
+    }
+
+    #[test]
+    fn static_theorem2_sums_the_two_widest() {
+        assert_eq!(static_theorem2_bound(&[]), None);
+        assert_eq!(static_theorem2_bound(&[3.0]), Some(3.0));
+        assert_eq!(static_theorem2_bound(&[5.0, 11.0, 17.0]), Some(28.0));
+        assert_eq!(static_theorem2_bound(&[0.2, 0.2, 1.0, 2.0]), Some(3.0));
+    }
+
+    #[test]
+    fn static_width_bound_follows_the_regime() {
+        let w = [0.2, 0.2, 1.0, 2.0]; // the landshark suite
+                                      // f = 1 < ceil(4/3): bounded by the widest declared width.
+        assert_eq!(static_width_bound(&w, 4, 1, 1), Some(2.0));
+        // One sensor silenced: f = 1 = ceil(3/3) but < ceil(3/2), one
+        // corrupt: Theorem 2's two-widest sum.
+        assert_eq!(static_width_bound(&w, 3, 1, 1), Some(3.0));
+        // Honest suite in the same regime: some interval is correct.
+        assert_eq!(static_width_bound(&w, 3, 1, 0), Some(2.0));
+        // Corruption exceeding the fault assumption voids everything.
+        assert_eq!(static_width_bound(&w, 4, 1, 2), None);
+        // Unbounded regime with live corruption.
+        assert_eq!(static_width_bound(&w, 2, 1, 1), None);
+        // Unbounded regime but honest: hull of correct intervals.
+        assert_eq!(static_width_bound(&w, 2, 3, 0), Some(3.0));
+        // Nothing transmitting.
+        assert_eq!(static_width_bound(&w, 0, 1, 0), None);
+    }
+
+    #[test]
+    fn static_width_bound_clamps_f_like_the_fusers() {
+        // f = 9 clamps to present - 1 = 1 for two transmitting sensors;
+        // honest, so the hull bound applies rather than None.
+        assert_eq!(static_width_bound(&[1.0, 1.0], 2, 9, 0), Some(2.0));
+    }
+
+    #[test]
+    fn historical_bound_matches_memoryless_and_validates_dynamics() {
+        let w = [0.2, 0.2, 1.0, 2.0];
+        assert_eq!(
+            historical_width_bound(&w, 4, 1, 1, 3.5, 0.1),
+            static_width_bound(&w, 4, 1, 1)
+        );
+        assert_eq!(historical_width_bound(&w, 4, 1, 1, f64::NAN, 0.1), None);
+        assert_eq!(historical_width_bound(&w, 4, 1, 1, -1.0, 0.1), None);
+        assert_eq!(
+            historical_width_bound(&w, 4, 1, 1, 3.5, f64::INFINITY),
+            None
+        );
+    }
+
+    #[test]
+    fn platoon_bounds_replicate_per_vehicle() {
+        let w = [0.2, 0.2, 1.0, 2.0];
+        let bounds = platoon_width_bounds(&w, 4, 1, 1, 3);
+        assert_eq!(bounds, vec![Some(2.0); 3]);
+        assert!(platoon_width_bounds(&w, 4, 1, 1, 0).is_empty());
     }
 }

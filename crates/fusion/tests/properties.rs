@@ -1,7 +1,9 @@
 //! Property-based tests for the fusion crate: the paper's guarantees as
 //! machine-checked invariants.
 
-use arsf_fusion::bounds::{check_bounds, regime, BoundRegime};
+use arsf_fusion::bounds::{
+    check_bounds, regime, static_theorem2_bound, theorem2_bound, BoundRegime,
+};
 use arsf_fusion::{brooks_iyengar, marzullo, naive};
 use arsf_interval::ops::{hull_all, intersection_all};
 use arsf_interval::Interval;
@@ -208,6 +210,71 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn check_bounds_verdicts_are_consistent_with_the_regime(
+        (correct, faulty, _truth) in truth_anchored(),
+        f in 0_usize..10,
+    ) {
+        // For *any* n/f pairing — including f below or above the actual
+        // number of faulty intervals — the checker must classify the
+        // configuration exactly as `regime()` does, and whenever the
+        // paper's assumptions genuinely hold (faulty count within f) the
+        // verdict must be that the bounds hold.
+        let mut all = correct.clone();
+        all.extend(faulty.iter().copied());
+        let n = all.len();
+        let Ok(report) = check_bounds(&all, &(0..correct.len()).collect::<Vec<_>>(), f) else {
+            return Ok(());
+        };
+        prop_assert_eq!(report.regime, regime(n, f));
+        prop_assert_eq!(report.theorem2, theorem2_bound(&correct));
+        if faulty.len() <= f {
+            prop_assert!(report.holds, "assumptions hold but report {:?}", report);
+        }
+        if report.regime == BoundRegime::Unbounded && report.theorem2.is_none() {
+            // No claim is made, so no claim can fail.
+            prop_assert!(report.holds);
+        }
+    }
+
+    #[test]
+    fn theorem2_bound_is_monotone_in_the_two_widest(
+        (correct, _faulty, _truth) in truth_anchored(),
+        grow in 1_i64..25,
+    ) {
+        // Widening any correct interval — in particular either of the
+        // two widest — never shrinks the Theorem-2 bound; widening one
+        // of the two widest grows it by exactly the increment.
+        prop_assume!(correct.len() >= 2);
+        let base = theorem2_bound(&correct).unwrap();
+        let widest = (0..correct.len())
+            .max_by_key(|&i| correct[i].width())
+            .unwrap();
+        for i in 0..correct.len() {
+            let mut widened = correct.clone();
+            widened[i] =
+                Interval::new(widened[i].lo() - grow, widened[i].hi()).unwrap();
+            let grown = theorem2_bound(&widened).unwrap();
+            prop_assert!(grown >= base, "widening {i} shrank {base} -> {grown}");
+            if i == widest {
+                prop_assert_eq!(grown, base + grow);
+            }
+        }
+    }
+
+    #[test]
+    fn static_theorem2_matches_the_interval_form(
+        widths in prop::collection::vec(0.0_f64..50.0, 2..=9),
+    ) {
+        // The width-only form agrees with the interval form on any
+        // concrete intervals realising those widths.
+        let intervals: Vec<Interval<f64>> = widths
+            .iter()
+            .map(|&w| Interval::new(0.0, w).unwrap())
+            .collect();
+        prop_assert_eq!(static_theorem2_bound(&widths), theorem2_bound(&intervals));
     }
 
     #[test]
