@@ -21,7 +21,16 @@
 //!   fusion guarantees (bound regime, Theorem-2 width bound,
 //!   truth-containment provability) from the declaration alone, surfaced
 //!   by [`analyze_scenario_guarantees`] / [`analyze_grid_guarantees`]
-//!   and enforced over stored baselines by [`vet_baseline_guarantees`].
+//!   and enforced over stored baselines by [`vet_baseline_guarantees`];
+//! * [`detect_report`] statically derives each cell's detectability
+//!   verdict — whether its attacker × fault set is provably invisible to
+//!   the configured detector, provably flagged every fused round, or
+//!   contingent on runtime state — plus a false-alarm-freedom
+//!   certificate, surfaced by [`analyze_scenario_detectability`] /
+//!   [`analyze_grid_detectability`] and enforced over stored baselines
+//!   by [`vet_baseline_detectability`] ([`detection_vacuous`] backs the
+//!   record-time refusal of grids whose detection columns are all
+//!   provably vacuous).
 //!
 //! # Lints and severities
 //!
@@ -35,7 +44,10 @@
 //! lints (`guarantee-unbounded`, `guarantee-vacuous`, `guarantee-width`)
 //! form their own dedicated pass ([`guarantee_lints`]), run by
 //! `sweep_lint guarantees` and the record-time gates rather than the
-//! default registry.
+//! default registry; the detectability lints (`detect-verdict`,
+//! `detect-invisible`, `detect-coverage`, `detect-violation`) likewise
+//! form their own pass ([`detect_lints`]), run by `sweep_lint
+//! detectability`.
 //!
 //! [`Severity::Error`] marks definitions the engines reject or the
 //! paper's theorems void outright; [`Severity::Warn`] marks degenerate
@@ -64,6 +76,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod baseline;
+mod detectability;
 mod grid;
 mod guarantees;
 mod lints;
@@ -75,6 +88,10 @@ use arsf_core::scenario::Scenario;
 
 pub use baseline::{
     analyze_baseline_dir, analyze_baseline_file, tolerance_findings, BaselineContext,
+};
+pub use detectability::{
+    analyze_grid_detectability, analyze_scenario_detectability, detect_lints, detect_report,
+    detection_vacuous, vet_baseline_detectability, DetectReport, DetectVerdict, InvisibleReason,
 };
 pub use grid::{analyze_grid, AnalyzeGrid};
 pub use guarantees::{

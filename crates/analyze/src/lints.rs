@@ -222,10 +222,34 @@ impl Lint for DetectorWindow {
         Severity::Warn
     }
     fn description(&self) -> &'static str {
-        "a windowed detector's window exceeds the run length, or its tolerance its window"
+        "a windowed detector's window is empty, exceeds the run length, tracks no \
+         sensors, or its tolerance its window"
     }
     fn check_scenario(&self, scenario: &Scenario, out: &mut Vec<Finding>) {
         if let DetectionMode::Windowed { window, tolerance } = scenario.detector {
+            if window == 0 {
+                out.push(Finding {
+                    lint: self.id(),
+                    severity: self.severity(),
+                    location: scenario_location(scenario),
+                    message: "windowed detector window is 0: an empty window can never \
+                              observe anything, and the engines refuse to build it"
+                        .to_string(),
+                });
+                // The unfillable / uncondemnable diagnoses below are just
+                // restatements of the same degenerate value.
+                return;
+            }
+            if scenario.suite.is_empty() {
+                out.push(Finding {
+                    lint: self.id(),
+                    severity: self.severity(),
+                    location: scenario_location(scenario),
+                    message: "windowed detector over an empty suite: there is no sensor to \
+                              track, so it can never flag or condemn"
+                        .to_string(),
+                });
+            }
             if window as u64 > scenario.rounds {
                 out.push(Finding {
                     lint: self.id(),
@@ -601,6 +625,38 @@ mod tests {
         let findings = analyze_scenario(&dead);
         assert_eq!(ids(&findings), vec!["detector-window"]);
         assert!(findings[0].message.contains("never condemn"));
+    }
+
+    #[test]
+    fn detector_window_flags_degenerate_configurations() {
+        // window = 0: the engines panic building it; exactly one finding
+        // (the redundant unfillable/uncondemnable restatements are
+        // suppressed).
+        let empty_window =
+            Scenario::new("z", SuiteSpec::Landshark).with_detector(DetectionMode::Windowed {
+                window: 0,
+                tolerance: 0,
+            });
+        let findings = analyze_scenario(&empty_window);
+        assert_eq!(ids(&findings), vec!["detector-window"]);
+        assert!(findings[0].message.contains("window is 0"));
+        assert!(findings[0].message.contains("refuse"));
+
+        // An empty suite builds but tracks nothing: the windowed detector
+        // is inert. (The empty suite itself also trips the structural
+        // suite lints, so just look for our message.)
+        let no_sensors =
+            Scenario::new("n", SuiteSpec::Widths(vec![])).with_detector(DetectionMode::Windowed {
+                window: 4,
+                tolerance: 1,
+            });
+        let findings = analyze_scenario(&no_sensors);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.lint == "detector-window" && f.message.contains("no sensor to track")),
+            "{findings:?}"
+        );
     }
 
     #[test]

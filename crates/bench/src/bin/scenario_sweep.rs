@@ -61,9 +61,12 @@
 //!   golden-grid workflow and the full tolerance semantics). `record`
 //!   refuses to freeze a grid that `arsf-analyze` flags with
 //!   error-severity findings — run `sweep_lint grid` with the same
-//!   flags to see them ahead of time — and a grid containing cells with
+//!   flags to see them ahead of time — a grid containing cells with
 //!   no static width bound, unless `--allow-unbounded` is passed (run
-//!   `sweep_lint guarantees` for the per-cell verdicts)
+//!   `sweep_lint guarantees` for the per-cell verdicts), and a grid
+//!   whose every corruptible cell is provably invisible to its
+//!   detector, unless `--allow-invisible` is passed (run `sweep_lint
+//!   detectability` for the per-cell verdicts)
 //! * `--baseline-dir path` — the baseline directory (default
 //!   `baselines`)
 
@@ -217,6 +220,17 @@ fn main() {
                          bound (pass --allow-unbounded to record anyway)",
                         unbounded.len()
                     ));
+                }
+                // And refuse a grid whose every attacked cell is provably
+                // invisible to its detector: the detection columns would
+                // freeze a tautology (run `sweep_lint detectability` for
+                // the per-cell verdicts).
+                if arsf_analyze::detection_vacuous(grid) && !has_flag("--allow-invisible") {
+                    fail(
+                        "refusing to record a baseline: every corruptible cell is provably \
+                         invisible to its detector, so the detection columns are vacuous \
+                         (pass --allow-invisible to record anyway)",
+                    );
                 }
                 match current.save(&dir) {
                     Ok(path) => println!("recorded baseline {}", path.display()),

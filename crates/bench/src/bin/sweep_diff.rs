@@ -9,9 +9,13 @@
 //!   `<dir>/<content-address>.json` for each (overwrites the grid's own
 //!   file only; other addresses are untouched). Re-record after an
 //!   *intentional* algorithm change. Refuses a grid that `arsf-analyze`
-//!   flags with error-severity findings, or one containing cells whose
+//!   flags with error-severity findings, one containing cells whose
 //!   declared budget admits no static width bound (`--allow-unbounded`
-//!   overrides the latter).
+//!   overrides), or one whose every corruptible cell is provably
+//!   invisible to its detector — vacuous detection columns
+//!   (`--allow-invisible` overrides; `table2-closed-loop` needs it,
+//!   since its stealthy attacker provably never trips Marzullo's
+//!   overlap check).
 //! * `check` — run the golden grid(s) and diff each against its stored
 //!   baseline, printing every drifted cell's grid index, column,
 //!   baseline value and new value.
@@ -38,7 +42,7 @@
 
 use std::process::exit;
 
-use arsf_analyze::{analyze_grid_guarantees, AnalyzeGrid, Severity};
+use arsf_analyze::{analyze_grid_guarantees, detection_vacuous, AnalyzeGrid, Severity};
 use arsf_bench::cli::parse_tolerances;
 use arsf_bench::{arg_value, golden, has_flag};
 use arsf_core::sweep::diff::{diff, DiffConfig, SweepDiff};
@@ -128,6 +132,20 @@ fn record(dir: &str) {
                 unbounded.len()
             ));
         }
+        // A grid whose every corruptible cell is provably invisible to
+        // its detector freezes tautological detection columns; that
+        // needs an explicit opt-in too. (`table2-closed-loop` is the
+        // canonical case: its stealth-clamped attacker provably never
+        // trips Marzullo's overlap check — exactly the paper's point —
+        // so re-recording it takes --allow-invisible.)
+        if detection_vacuous(&grid) && !has_flag("--allow-invisible") {
+            fail(&format!(
+                "refusing to record {name}: every corruptible cell is provably invisible \
+                 to its detector, so the detection columns are vacuous (run `sweep_lint \
+                 detectability` for the per-cell verdicts; pass --allow-invisible to \
+                 record anyway)"
+            ));
+        }
         let baseline = run_baseline(&grid, &sweeper);
         match baseline.save(dir) {
             Ok(path) => println!(
@@ -184,11 +202,15 @@ const USAGE: &str = "\
 usage: sweep_diff <record|check|diff a.json b.json>
                   [--grid name] [--dir path] [--threads k]
                   [--tol col=abs[:rel],...] [--allow-unbounded]
+                  [--allow-invisible]
 
   record   run the golden grid(s), write <dir>/<content-address>.json
-           (refuses grids with error-severity arsf-analyze findings, and
+           (refuses grids with error-severity arsf-analyze findings,
             grids containing cells with no static width bound unless
-            --allow-unbounded is passed)
+            --allow-unbounded is passed, and grids whose every
+            corruptible cell is provably invisible to its detector
+            unless --allow-invisible is passed; table2-closed-loop
+            needs the latter)
   check    re-run the golden grid(s), diff against stored baselines
   diff     compare two baseline files directly
 
@@ -213,8 +235,8 @@ fn main() {
         for arg in &args {
             if skip {
                 skip = false;
-            } else if arg == "--allow-unbounded" {
-                // the one boolean flag: takes no value
+            } else if arg == "--allow-unbounded" || arg == "--allow-invisible" {
+                // the boolean flags: take no value
             } else if arg.starts_with("--") {
                 skip = true; // every other flag takes a value
             } else {

@@ -26,11 +26,17 @@
 //!   round, then vet each stored baseline's width and truth-loss
 //!   columns against them — a soundness oracle: a recorded cell that
 //!   violates a theorem is a `guarantee-violation` error.
+//! * `detectability` — statically classify every golden-grid cell's
+//!   attacker × fault set × detector into a detection verdict (provably
+//!   invisible, provably flagged, or contingent), again without running
+//!   a round, then vet each stored baseline's `flagged_rounds` and
+//!   condemnation columns against the verdicts: a recorded cell that
+//!   contradicts one is a `detect-violation` error.
 //!
 //! Options:
 //! * `--json` — emit findings as a JSON array instead of text
-//! * `--dir path` — the baseline directory (`baselines` and
-//!   `guarantees` subcommands; default `baselines`)
+//! * `--dir path` — the baseline directory (`baselines`, `guarantees`
+//!   and `detectability` subcommands; default `baselines`)
 //! * `--tol col=abs[:rel],…` — check-harness tolerances to vet
 //!   (`baselines` subcommand only)
 //!
@@ -42,9 +48,9 @@ use std::path::Path;
 use std::process::exit;
 
 use arsf_analyze::{
-    analyze_baseline_dir, analyze_grid_guarantees, analyze_scenario, exit_code, render,
-    render_json, tolerance_findings, vet_baseline_guarantees, AnalyzeGrid, Finding, Location,
-    Severity,
+    analyze_baseline_dir, analyze_grid_detectability, analyze_grid_guarantees, analyze_scenario,
+    exit_code, render, render_json, tolerance_findings, vet_baseline_detectability,
+    vet_baseline_guarantees, AnalyzeGrid, Finding, Location, Severity,
 };
 use arsf_bench::cli::{grid_from_args, parse_tolerances};
 use arsf_bench::{arg_value, golden, has_flag};
@@ -53,7 +59,7 @@ use arsf_core::sweep::diff::DiffConfig;
 use arsf_core::sweep::store::{baseline_path, grid_address, Baseline};
 
 const USAGE: &str = "\
-usage: sweep_lint <presets|grid|baselines|guarantees> [--json]
+usage: sweep_lint <presets|grid|baselines|guarantees|detectability> [--json]
 
   presets     lint every registry preset
   grid        lint the sweep grid described by scenario_sweep's flags
@@ -65,6 +71,11 @@ usage: sweep_lint <presets|grid|baselines|guarantees> [--json]
   guarantees  derive every golden-grid cell's static fusion guarantees
               (no simulation) and vet the stored baselines against them
               [--dir path]
+  detectability
+              derive every golden-grid cell's static detection verdict
+              (provably invisible / provably flagged / contingent, no
+              simulation) and vet the stored baselines' flagged_rounds
+              and condemnation columns against them [--dir path]
 
 exit codes:
   0  clean    - no findings above info severity
@@ -169,6 +180,44 @@ fn guarantees() -> ! {
     emit(&findings)
 }
 
+fn detectability() -> ! {
+    let dir = arg_value("--dir").unwrap_or_else(|| "baselines".to_string());
+    let mut findings = Vec::new();
+    for (name, grid) in golden::all() {
+        // Static pass: derive every cell's detection verdict without
+        // running a single simulation round, plus the grid-level
+        // attacker × detector coverage matrix.
+        for mut finding in analyze_grid_detectability(&grid) {
+            finding.message = format!("golden grid `{name}`: {}", finding.message);
+            findings.push(finding);
+        }
+        // Vetting pass: every stored cell record's flagged_rounds and
+        // condemnation columns must respect its cell's verdict.
+        let address = grid_address(&grid);
+        let path = baseline_path(&dir, &address);
+        match Baseline::load(&path) {
+            Ok(baseline) => findings.extend(vet_baseline_detectability(
+                &grid,
+                &baseline,
+                &Location::File { path },
+            )),
+            Err(_) => findings.push(Finding {
+                lint: "baseline-missing",
+                severity: Severity::Warn,
+                location: Location::Grid {
+                    name: name.to_string(),
+                },
+                message: format!(
+                    "no stored baseline {address}.json in {dir} to vet against the static \
+                     detectability verdicts"
+                ),
+            }),
+        }
+    }
+    findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
+    emit(&findings)
+}
+
 fn main() {
     if has_flag("--help") || has_flag("-h") {
         print!("{USAGE}");
@@ -179,6 +228,7 @@ fn main() {
         Some("grid") => grid(),
         Some("baselines") => baselines(),
         Some("guarantees") => guarantees(),
+        Some("detectability") => detectability(),
         _ => {
             eprint!("{USAGE}");
             exit(2);

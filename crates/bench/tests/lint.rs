@@ -11,12 +11,21 @@
 //! (width past its Theorem-2 bound, or truth loss where containment is
 //! provable) is flagged with its cell index, column, bound and observed
 //! value at the error tier.
+//!
+//! The detectability layer mirrors that coverage: every golden-grid cell
+//! derives a static detection verdict without simulating, the committed
+//! baselines' `flagged_rounds`/condemnation columns vet clean against
+//! the verdicts, a hand-corrupted flagged count is flagged at the error
+//! tier, and the `sweep_lint` binary's `--json` mode carries the same
+//! findings as the text mode for every subcommand.
 
 use std::path::{Path, PathBuf};
+use std::process::Command;
 
 use arsf_analyze::{
-    analyze_baseline_dir, analyze_baseline_file, analyze_grid_guarantees, exit_code,
-    vet_baseline_guarantees, AnalyzeGrid, Location, Severity,
+    analyze_baseline_dir, analyze_baseline_file, analyze_grid_detectability,
+    analyze_grid_guarantees, exit_code, vet_baseline_detectability, vet_baseline_guarantees,
+    AnalyzeGrid, Location, Severity,
 };
 use arsf_bench::golden;
 use arsf_core::scenario::{FuserSpec, Scenario, SuiteSpec};
@@ -169,6 +178,152 @@ fn corrupted_truth_loss_is_flagged_when_containment_is_provable() {
         violation.message
     );
     assert_eq!(exit_code(&findings), 2);
+}
+
+#[test]
+fn golden_grids_derive_detect_verdicts_for_every_cell() {
+    // The detection-side acceptance property: every golden-grid cell
+    // gets a static detectability verdict — no simulation — and nothing
+    // worse than an info note (the golden grids use Marzullo-family
+    // fusers, so the geometry-vacuity warning never fires).
+    for (name, grid) in golden::all() {
+        let findings = analyze_grid_detectability(&grid);
+        let verdicts: Vec<_> = findings
+            .iter()
+            .filter(|f| f.lint == "detect-verdict")
+            .collect();
+        assert_eq!(
+            verdicts.len(),
+            grid.len(),
+            "golden grid {name}: expected one verdict per cell, got {findings:?}"
+        );
+        for finding in &findings {
+            assert_eq!(
+                finding.severity,
+                Severity::Info,
+                "golden grid {name}: {finding:?}"
+            );
+        }
+        assert!(
+            findings.iter().any(|f| f.lint == "detect-coverage"),
+            "golden grid {name}: the attacker × detector coverage matrix is emitted"
+        );
+    }
+}
+
+#[test]
+fn committed_baselines_respect_their_detect_verdicts() {
+    for (name, grid) in golden::all() {
+        let path = baseline_path(baselines_dir(), &grid_address(&grid));
+        let baseline = Baseline::load(&path).expect("committed baseline loads");
+        let findings = vet_baseline_detectability(&grid, &baseline, &Location::File { path });
+        assert!(
+            findings.is_empty(),
+            "golden grid {name}: committed baseline contradicts its detect verdicts: \
+             {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn corrupted_flagged_count_is_caught_against_its_verdict() {
+    // Cell 0 of the open-loop grid is a stealth-clamped phantom attack
+    // under Marzullo with detection off in cell 0 — every cell of the
+    // grid has a verdict, and the committed flagged_rounds is 0 wherever
+    // invisibility is provable. Hand-corrupt cell 0's flagged count: the
+    // vetting pass must name the cell, the column, the static bound and
+    // the observed value at the error tier.
+    let grid = golden::find("open-loop-48").expect("the open-loop golden grid exists");
+    let path = baseline_path(baselines_dir(), &grid_address(&grid));
+    let mut baseline = Baseline::load(&path).expect("committed baseline loads");
+    let slot = baseline.rows[0]
+        .metrics
+        .iter_mut()
+        .find(|(name, _)| name == "flagged_rounds")
+        .expect("cell 0 records a flagged_rounds column");
+    slot.1 = Some(7.0);
+
+    let findings = vet_baseline_detectability(&grid, &baseline, &Location::File { path });
+    let violation = findings
+        .iter()
+        .find(|f| f.lint == "detect-violation")
+        .expect("the corrupted flagged count is flagged");
+    assert_eq!(violation.severity, Severity::Error);
+    for needle in ["cell 0", "flagged_rounds", "7", "bound 0"] {
+        assert!(
+            violation.message.contains(needle),
+            "the finding should mention `{needle}`: {}",
+            violation.message
+        );
+    }
+    assert_eq!(exit_code(&findings), 2);
+}
+
+/// Runs the compiled `sweep_lint` binary from the workspace root (the
+/// committed baselines live there) and returns `(exit code, stdout)`.
+fn run_sweep_lint(args: &[&str]) -> (i32, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_sweep_lint"))
+        .args(args)
+        .args(["--dir", baselines_dir().to_str().expect("utf-8 path")])
+        .output()
+        .expect("sweep_lint runs");
+    (
+        output.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn sweep_lint_emits_json_for_every_subcommand() {
+    // `--json` parity: every subcommand emits a JSON array with the same
+    // findings the text renderer shows, and the exit code is unaffected
+    // by the output format.
+    for subcommand in [
+        vec!["presets"],
+        vec!["grid", "--fusers", "marzullo,hull"],
+        vec!["baselines"],
+        vec!["guarantees"],
+        vec!["detectability"],
+    ] {
+        let (text_code, text) = run_sweep_lint(&subcommand);
+        let mut json_args = subcommand.clone();
+        json_args.push("--json");
+        let (json_code, json) = run_sweep_lint(&json_args);
+        assert_eq!(
+            text_code, json_code,
+            "{subcommand:?}: --json must not change the exit code"
+        );
+        let trimmed = json.trim();
+        assert!(
+            trimmed.starts_with('[') && trimmed.ends_with(']'),
+            "{subcommand:?}: --json emits a JSON array, got: {trimmed:.80}"
+        );
+        assert!(
+            !json.contains("error(s),"),
+            "{subcommand:?}: the text summary tail must not leak into JSON"
+        );
+        // The text mode renders one `severity[lint] …` line per finding
+        // plus a bracket-free summary tail; the JSON mode renders one
+        // object per finding. The counts must agree.
+        let text_findings = text.lines().filter(|l| l.contains('[')).count();
+        let json_findings = json.matches("\"lint\":").count();
+        assert_eq!(
+            json_findings, text_findings,
+            "{subcommand:?}: JSON and text must carry the same findings\ntext:\n{text}\njson:\n{json}"
+        );
+        assert!(
+            subcommand[0] != "detectability" || json.contains("detect-verdict"),
+            "detectability --json carries the per-cell verdicts"
+        );
+    }
+}
+
+#[test]
+fn sweep_lint_detectability_is_clean_on_the_committed_tree() {
+    let (code, out) = run_sweep_lint(&["detectability"]);
+    assert_eq!(code, 0, "committed baselines vet clean: {out}");
+    // 48 + 6 golden cells, one verdict each.
+    assert_eq!(out.matches("detect-verdict").count(), 54);
 }
 
 #[test]

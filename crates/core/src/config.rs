@@ -1,6 +1,6 @@
 //! Pipeline configuration.
 
-use arsf_detect::{Detector, ImmediateDetector, NoDetector, WindowedDetector};
+use arsf_detect::{Detector, DetectorModel, ImmediateDetector, NoDetector, WindowedDetector};
 use arsf_schedule::SchedulePolicy;
 
 /// Declarative default for the engine's detector: how the controller
@@ -39,6 +39,19 @@ impl DetectionMode {
             DetectionMode::Immediate => Box::new(ImmediateDetector),
             DetectionMode::Windowed { window, tolerance } => {
                 Box::new(WindowedDetector::new(n, window, tolerance))
+            }
+        }
+    }
+
+    /// The static [`DetectorModel`] of this mode: what the detector it
+    /// names can do (flag, condemn, and at what latency), derived from
+    /// the configuration values alone — nothing is built.
+    pub fn model(&self) -> DetectorModel {
+        match *self {
+            DetectionMode::Off => DetectorModel::off(),
+            DetectionMode::Immediate => DetectorModel::immediate(),
+            DetectionMode::Windowed { window, tolerance } => {
+                DetectorModel::windowed(window, tolerance)
             }
         }
     }
@@ -126,5 +139,19 @@ mod tests {
         }
         .detector(4);
         assert_eq!(windowed.name(), "windowed");
+    }
+
+    #[test]
+    fn modes_expose_their_static_models() {
+        assert!(!DetectionMode::Off.model().flags);
+        let immediate = DetectionMode::Immediate.model();
+        assert!(immediate.flags && !immediate.condemns);
+        let windowed = DetectionMode::Windowed {
+            window: 10,
+            tolerance: 3,
+        }
+        .model();
+        assert_eq!(windowed.window, Some(10));
+        assert_eq!(windowed.condemnation_latency(), Some(4));
     }
 }

@@ -207,6 +207,51 @@ impl StrategySpec {
             StrategySpec::Truthful => "truthful",
         }
     }
+
+    /// How the strategy's transmitted intervals relate to the overlap
+    /// check, statically (see [`StrategyVisibility`]).
+    ///
+    /// Both the phantom forger and the greedy extreme placers route
+    /// every proposal through the shared stealth clamp (the paper's
+    /// Section III-A argument): in passive mode the forged interval
+    /// contains Δ (and hence the truth), in active mode it is shifted to
+    /// touch the intersection of the correct intervals seen so far —
+    /// a point of maximal coverage, inside the Marzullo interval when
+    /// the round's corruption stays within budget. They are therefore
+    /// [`StrategyVisibility::Stealthy`]; the truthful baseline transmits
+    /// the correct reading outright.
+    pub fn visibility(&self) -> StrategyVisibility {
+        match self {
+            StrategySpec::PhantomOptimal | StrategySpec::GreedyHigh | StrategySpec::GreedyLow => {
+                StrategyVisibility::Stealthy
+            }
+            StrategySpec::Truthful => StrategyVisibility::Honest,
+        }
+    }
+}
+
+/// The static visibility class of an attack strategy: what the overlap
+/// check can ever see of it, before a round is run.
+///
+/// The companion of [`Scenario::static_model`] on the detection side:
+/// [`StrategySpec::visibility`] and [`AttackerSpec::visibility`] derive
+/// it from the declaration alone, and the static detectability analysis
+/// in `arsf-analyze` turns it into per-cell verdicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum StrategyVisibility {
+    /// Transmits the correct reading: indistinguishable from an honest
+    /// sensor, so the overlap check never fires on it (and no budget
+    /// argument is needed).
+    Honest,
+    /// Forgeries are stealth-clamped to stay in contact with the fusion
+    /// interval (Section III-A): provably invisible to the overlap check
+    /// under Marzullo-family fusion while at most one sensor per round
+    /// is attacked within budget.
+    Stealthy,
+    /// No static placement claim: whether the overlap check fires
+    /// depends on magnitudes and runtime state.
+    Opportunistic,
 }
 
 /// The scenario's attacker model.
@@ -240,6 +285,38 @@ impl AttackerSpec {
                 format!("{}@{}", strategy.name(), ids.join("|"))
             }
             AttackerSpec::RandomEachRound => "random-each-round".to_string(),
+        }
+    }
+
+    /// The visibility class of the strategy this attacker runs (see
+    /// [`StrategyVisibility`]): honest for no attacker, the fixed
+    /// strategy's own class for a fixed set, and stealthy for the
+    /// random-each-round model (which always forges with
+    /// [`StrategySpec::PhantomOptimal`]).
+    pub fn visibility(&self) -> StrategyVisibility {
+        match self {
+            AttackerSpec::None => StrategyVisibility::Honest,
+            AttackerSpec::Fixed { strategy, .. } => strategy.visibility(),
+            AttackerSpec::RandomEachRound => StrategySpec::PhantomOptimal.visibility(),
+        }
+    }
+
+    /// The worst-case number of *distinct* sensors this attacker forges
+    /// in a single round: the stealth clamp's coverage argument only
+    /// closes when at most one sensor per round is attacked.
+    pub fn max_attacked_per_round(&self) -> usize {
+        match self {
+            AttackerSpec::None => 0,
+            AttackerSpec::Fixed { sensors, strategy } => {
+                if *strategy == StrategySpec::Truthful {
+                    0
+                } else {
+                    let distinct: std::collections::BTreeSet<usize> =
+                        sensors.iter().copied().collect();
+                    distinct.len()
+                }
+            }
+            AttackerSpec::RandomEachRound => 1,
         }
     }
 
@@ -1091,6 +1168,42 @@ mod tests {
                 strategy: StrategySpec::Truthful,
             });
         assert_eq!(scenario.static_model().corrupt, 0);
+    }
+
+    #[test]
+    fn strategy_visibility_classes() {
+        for stealthy in [
+            StrategySpec::PhantomOptimal,
+            StrategySpec::GreedyHigh,
+            StrategySpec::GreedyLow,
+        ] {
+            assert_eq!(stealthy.visibility(), StrategyVisibility::Stealthy);
+        }
+        assert_eq!(
+            StrategySpec::Truthful.visibility(),
+            StrategyVisibility::Honest
+        );
+        assert_eq!(AttackerSpec::None.visibility(), StrategyVisibility::Honest);
+        assert_eq!(
+            AttackerSpec::RandomEachRound.visibility(),
+            StrategyVisibility::Stealthy
+        );
+    }
+
+    #[test]
+    fn max_attacked_counts_distinct_forging_sensors() {
+        assert_eq!(AttackerSpec::None.max_attacked_per_round(), 0);
+        assert_eq!(AttackerSpec::RandomEachRound.max_attacked_per_round(), 1);
+        let fixed = AttackerSpec::Fixed {
+            sensors: vec![0, 2, 0],
+            strategy: StrategySpec::GreedyHigh,
+        };
+        assert_eq!(fixed.max_attacked_per_round(), 2);
+        let truthful = AttackerSpec::Fixed {
+            sensors: vec![0, 1],
+            strategy: StrategySpec::Truthful,
+        };
+        assert_eq!(truthful.max_attacked_per_round(), 0);
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //! object-safe [`Detector`] trait ([`detector`]): [`NoDetector`],
 //! [`ImmediateDetector`] and [`WindowedDetector`] ship as stock
 //! implementations, and new detectors plug in without touching the
-//! engine.
+//! engine. Each stock configuration also exposes its static
+//! characteristics as a [`DetectorModel`] ([`model`]) — whether it can
+//! flag or condemn at all, and its condemnation latency — so analysis
+//! layers can reason about detectors without building one.
 //!
 //! # Example
 //!
@@ -40,11 +43,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod detector;
+pub mod model;
 pub mod overlap;
 pub mod window;
 
 pub use detector::{Detector, ImmediateDetector, NoDetector, RoundAssessment};
+pub use model::DetectorModel;
 pub use overlap::{DetectionReport, OverlapDetector};
 pub use window::{WindowVerdict, WindowedDetector};

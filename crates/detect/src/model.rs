@@ -1,0 +1,146 @@
+//! Static per-detector characteristics, for analysis without execution.
+//!
+//! A [`DetectorModel`] describes what a stock detector configuration
+//! *can* do — whether it flags per-round violations at all, whether it
+//! can ever condemn a sensor, and how many violating fused rounds a
+//! condemnation takes — from the configuration values alone. The static
+//! detectability layer in `arsf-analyze` consumes it to classify
+//! attacker × detector cells without running a round; the engines never
+//! look at it.
+
+/// The statically known capabilities of one detector configuration.
+///
+/// Constructed by the per-mode constructors ([`DetectorModel::off`],
+/// [`DetectorModel::immediate`], [`DetectorModel::windowed`]), which
+/// mirror the three stock [`Detector`](crate::Detector) implementations.
+///
+/// # Example
+///
+/// ```
+/// use arsf_detect::DetectorModel;
+///
+/// let model = DetectorModel::windowed(10, 3);
+/// assert!(model.flags && model.condemns);
+/// // Violations must strictly exceed the tolerance, and the window only
+/// // advances on fused rounds: 4 violating fused rounds condemn.
+/// assert_eq!(model.condemnation_latency(), Some(4));
+/// assert_eq!(DetectorModel::off().condemnation_latency(), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub struct DetectorModel {
+    /// Whether the detector reports per-round overlap violations at all
+    /// (`false` only for the no-op detector).
+    pub flags: bool,
+    /// Whether the detector can ever *condemn* a sensor (declare it
+    /// compromised for the rest of the run).
+    pub condemns: bool,
+    /// The sliding-window length, for windowed detectors.
+    pub window: Option<usize>,
+    /// The tolerated violations per window, for windowed detectors.
+    pub tolerance: Option<usize>,
+}
+
+impl DetectorModel {
+    /// The no-op detector: never flags, never condemns.
+    pub fn off() -> Self {
+        Self {
+            flags: false,
+            condemns: false,
+            window: None,
+            tolerance: None,
+        }
+    }
+
+    /// The paper's immediate rule: every violation is flagged the round
+    /// it happens, but the detector is memoryless — it never *condemns*
+    /// (declares a sensor compromised for the rest of the run); only the
+    /// temporal detector does that.
+    pub fn immediate() -> Self {
+        Self {
+            flags: true,
+            condemns: false,
+            window: None,
+            tolerance: None,
+        }
+    }
+
+    /// Footnote 1's temporal detector: flags every violation, condemns
+    /// when strictly more than `tolerance` of the last `window` rounds
+    /// violated.
+    ///
+    /// A window can hold at most `window` violations, so `tolerance >=
+    /// window` (including the degenerate `window == 0`, which
+    /// [`WindowedDetector::new`](crate::WindowedDetector::new) refuses
+    /// to build) yields a detector that can never condemn.
+    pub fn windowed(window: usize, tolerance: usize) -> Self {
+        Self {
+            flags: true,
+            condemns: tolerance < window,
+            window: Some(window),
+            tolerance: Some(tolerance),
+        }
+    }
+
+    /// How many *violating fused rounds* a persistently violating sensor
+    /// needs before it is condemned, or `None` if this detector can
+    /// never condemn.
+    ///
+    /// Detectors only observe fused rounds (a failed fusion gives the
+    /// overlap check nothing to compare against), so the count is in
+    /// fused rounds: `tolerance + 1` for a windowed detector —
+    /// violations must *strictly* exceed the tolerance, and `tolerance +
+    /// 1` consecutive violating rounds fit in any window that can
+    /// condemn at all.
+    pub fn condemnation_latency(&self) -> Option<usize> {
+        if !self.condemns {
+            return None;
+        }
+        Some(match self.tolerance {
+            Some(tolerance) => tolerance + 1,
+            None => 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_can_do_nothing() {
+        let model = DetectorModel::off();
+        assert!(!model.flags);
+        assert!(!model.condemns);
+        assert_eq!(model.condemnation_latency(), None);
+    }
+
+    #[test]
+    fn immediate_flags_but_never_condemns() {
+        let model = DetectorModel::immediate();
+        assert!(model.flags);
+        assert!(!model.condemns);
+        assert_eq!(model.condemnation_latency(), None);
+    }
+
+    #[test]
+    fn windowed_latency_is_tolerance_plus_one() {
+        let model = DetectorModel::windowed(10, 3);
+        assert_eq!((model.window, model.tolerance), (Some(10), Some(3)));
+        assert_eq!(model.condemnation_latency(), Some(4));
+        assert_eq!(
+            DetectorModel::windowed(5, 0).condemnation_latency(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn saturated_tolerance_never_condemns() {
+        for (window, tolerance) in [(4, 4), (4, 9), (0, 0)] {
+            let model = DetectorModel::windowed(window, tolerance);
+            assert!(model.flags, "w={window} t={tolerance}");
+            assert!(!model.condemns, "w={window} t={tolerance}");
+            assert_eq!(model.condemnation_latency(), None);
+        }
+    }
+}

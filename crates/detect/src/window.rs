@@ -221,6 +221,26 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "window length must be positive")]
+    fn fully_degenerate_config_panics() {
+        // Even with no sensors to track, a zero-length window is refused:
+        // the `detector-window` lint flags the configuration statically,
+        // and the engines would panic here when building it.
+        let _ = WindowedDetector::new(0, 0, 0);
+    }
+
+    #[test]
+    fn zero_sensors_with_a_valid_window_is_inert() {
+        // n = 0 builds (nothing to track) but any record() is out of
+        // range; the detector just never condemns anything.
+        let mut det = WindowedDetector::new(0, 4, 1);
+        assert_eq!(det.sensor_count(), 0);
+        assert!(det.condemned().is_empty());
+        det.reset();
+        assert!(det.condemned().is_empty());
+    }
+
+    #[test]
     fn accessors() {
         let det = WindowedDetector::new(4, 6, 2);
         assert_eq!(det.window(), 6);
