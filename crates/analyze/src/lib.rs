@@ -30,7 +30,14 @@
 //!   [`analyze_grid_detectability`] and enforced over stored baselines
 //!   by [`vet_baseline_detectability`] ([`detection_vacuous`] backs the
 //!   record-time refusal of grids whose detection columns are all
-//!   provably vacuous).
+//!   provably vacuous);
+//! * [`dominance_report`] statically derives a partial order over a
+//!   grid's cells — [`OrderEdge`]s between cells differing in exactly
+//!   one axis coordinate where the theory proves a metric ordering
+//!   (Table II's schedule chain, containment/invisibility certificates,
+//!   and the width-bound lattice over attackers, fault sets and
+//!   historical fusion) — surfaced by [`analyze_grid_dominance`] and
+//!   enforced over stored baselines by [`vet_baseline_dominance`].
 //!
 //! # Lints and severities
 //!
@@ -47,7 +54,10 @@
 //! default registry; the detectability lints (`detect-verdict`,
 //! `detect-invisible`, `detect-coverage`, `detect-violation`) likewise
 //! form their own pass ([`detect_lints`]), run by `sweep_lint
-//! detectability`.
+//! detectability`; and the dominance lints (`order-edge`,
+//! `order-vacuous`, `order-violation`) form a fourth pass
+//! ([`order_lints`]), run by `sweep_lint dominance` and the record-time
+//! `--allow-disorder` gate.
 //!
 //! [`Severity::Error`] marks definitions the engines reject or the
 //! paper's theorems void outright; [`Severity::Warn`] marks degenerate
@@ -77,6 +87,7 @@
 
 mod baseline;
 mod detectability;
+mod dominance;
 mod grid;
 mod guarantees;
 mod lints;
@@ -92,6 +103,10 @@ pub use baseline::{
 pub use detectability::{
     analyze_grid_detectability, analyze_scenario_detectability, detect_lints, detect_report,
     detection_vacuous, vet_baseline_detectability, DetectReport, DetectVerdict, InvisibleReason,
+};
+pub use dominance::{
+    analyze_grid_dominance, dominance_report, order_lints, vet_baseline_dominance, BoundInversion,
+    DominanceReport, FRegression, OrderEdge, OrderRule,
 };
 pub use grid::{analyze_grid, AnalyzeGrid};
 pub use guarantees::{
@@ -162,6 +177,13 @@ pub enum Location {
         /// The configured column or family name.
         column: String,
     },
+    /// An ordered pair of grid cells a dominance edge connects.
+    CellPair {
+        /// The ⪯ side's grid-order cell index.
+        lesser: usize,
+        /// The ⪰ side's grid-order cell index.
+        greater: usize,
+    },
 }
 
 impl fmt::Display for Location {
@@ -176,6 +198,7 @@ impl fmt::Display for Location {
             Location::File { path } => write!(f, "{}", path.display()),
             Location::Grid { name } => write!(f, "golden grid `{name}`"),
             Location::Column { column } => write!(f, "tolerance `{column}`"),
+            Location::CellPair { lesser, greater } => write!(f, "cells {lesser} ⪯ {greater}"),
         }
     }
 }
@@ -315,6 +338,62 @@ pub fn render_json(findings: &[Finding]) -> String {
     out
 }
 
+/// Renders labelled pass findings for humans: a `== pass ==` header per
+/// pass, each pass's findings (or a per-pass `clean` line), and one
+/// overall summary tail — the text shape of `sweep_lint all`.
+pub fn render_passes(passes: &[(&str, Vec<Finding>)]) -> String {
+    let mut out = String::new();
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut notes = 0usize;
+    for (pass, findings) in passes {
+        out.push_str(&format!("== {pass} ==\n"));
+        for finding in findings {
+            match finding.severity {
+                Severity::Error => errors += 1,
+                Severity::Warn => warnings += 1,
+                Severity::Info => notes += 1,
+            }
+            out.push_str(&finding.render());
+            out.push('\n');
+        }
+        if findings.is_empty() {
+            out.push_str("clean: no findings\n");
+        }
+    }
+    out.push_str(&format!(
+        "{errors} error(s), {warnings} warning(s), {notes} note(s)\n"
+    ));
+    out
+}
+
+/// Renders labelled pass findings as a JSON array. Every object carries
+/// the stable `"schema": 1` marker and the pass name alongside the
+/// fields [`render_json`] emits, so downstream tooling can key on them
+/// across `sweep_lint` subcommands.
+pub fn render_json_passes(passes: &[(&str, Vec<Finding>)]) -> String {
+    let total: usize = passes.iter().map(|(_, f)| f.len()).sum();
+    let mut emitted = 0usize;
+    let mut out = String::from("[\n");
+    for (pass, findings) in passes {
+        for finding in findings {
+            emitted += 1;
+            out.push_str(&format!(
+                "  {{\"schema\": 1, \"pass\": {}, \"lint\": {}, \"severity\": {}, \
+                 \"location\": {}, \"message\": {}}}{}\n",
+                json_string(pass),
+                json_string(finding.lint),
+                json_string(finding.severity.label()),
+                json_string(&finding.location.to_string()),
+                json_string(&finding.message),
+                if emitted < total { "," } else { "" }
+            ));
+        }
+    }
+    out.push_str("]\n");
+    out
+}
+
 /// Minimal JSON string escaping (the same subset the baseline store
 /// emits: quotes, backslashes and control characters).
 fn json_string(s: &str) -> String {
@@ -417,5 +496,35 @@ mod tests {
             column: "vehicle_mean_widths".to_string(),
         };
         assert_eq!(column.to_string(), "tolerance `vehicle_mean_widths`");
+        let pair = Location::CellPair {
+            lesser: 4,
+            greater: 17,
+        };
+        assert_eq!(pair.to_string(), "cells 4 ⪯ 17");
+    }
+
+    #[test]
+    fn pass_renderers_carry_schema_pass_and_headers() {
+        let passes = vec![
+            ("presets", vec![finding(Severity::Warn)]),
+            ("dominance", vec![]),
+        ];
+        let text = render_passes(&passes);
+        assert!(text.contains("== presets ==\n"));
+        assert!(text.contains("== dominance ==\nclean: no findings"));
+        assert!(text.ends_with("0 error(s), 1 warning(s), 0 note(s)\n"));
+
+        let json = render_json_passes(&passes);
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"pass\": \"presets\""));
+        assert!(json.trim_end().ends_with(']'));
+        // Comma placement: a single object means no trailing comma.
+        assert_eq!(json.matches("},").count(), 0);
+        // The legacy single-pass renderer stays comma-correct too.
+        let two = render_json_passes(&[
+            ("a", vec![finding(Severity::Info)]),
+            ("b", vec![finding(Severity::Info)]),
+        ]);
+        assert_eq!(two.matches("},").count(), 1);
     }
 }

@@ -1,0 +1,125 @@
+//! Property test bridging the static dominance layer to the dynamic
+//! engines: any sweep grid the linter passes without error-severity
+//! findings, when actually swept and recorded, never inverts a
+//! cross-cell ordering the dominance pass proves. The derived lattice is
+//! a *sound* abstraction of the dynamics — every `order-edge` the
+//! analyzer emits is a claim about real recorded metrics, and this test
+//! holds the analyzer to it.
+//!
+//! The pools cross the Marzullo-family fusers with the unprotected
+//! inverse-variance baseline (so the containment and invisibility
+//! certificates produce fuser-axis edges), all three rankable schedules
+//! (so Table II's asc ⪯ random ⪯ desc chain produces schedule-axis
+//! edges), the stealth-clamped attackers that arm the schedule ordering,
+//! and detectors on and off (detector-axis invisibility edges).
+
+use arsf_analyze::{analyze_grid, dominance_report, vet_baseline_dominance, Location, Severity};
+use arsf_core::scenario::{AttackerSpec, FuserSpec, Scenario, StrategySpec, SuiteSpec};
+use arsf_core::sweep::store::Baseline;
+use arsf_core::sweep::SweepGrid;
+use arsf_core::DetectionMode;
+use arsf_schedule::SchedulePolicy;
+use proptest::prelude::*;
+
+fn fuser_pool(i: usize) -> FuserSpec {
+    match i % 4 {
+        0 => FuserSpec::Marzullo,
+        1 => FuserSpec::BrooksIyengar,
+        2 => FuserSpec::InverseVariance,
+        _ => FuserSpec::Historical {
+            max_rate: 3.5,
+            dt: 0.1,
+        },
+    }
+}
+
+fn attacker_pool(i: usize) -> AttackerSpec {
+    // Every draw is stealth-clamped with at most one attacked sensor per
+    // round, so the schedule-ordering rule arms on every lint-clean cell.
+    match i % 3 {
+        0 => AttackerSpec::Fixed {
+            sensors: vec![0],
+            strategy: StrategySpec::PhantomOptimal,
+        },
+        1 => AttackerSpec::Fixed {
+            sensors: vec![1],
+            strategy: StrategySpec::GreedyHigh,
+        },
+        _ => AttackerSpec::RandomEachRound,
+    }
+}
+
+fn schedule_pool(i: usize) -> Vec<SchedulePolicy> {
+    match i % 3 {
+        0 => vec![SchedulePolicy::Ascending, SchedulePolicy::Descending],
+        1 => vec![
+            SchedulePolicy::Ascending,
+            SchedulePolicy::Descending,
+            SchedulePolicy::Random,
+        ],
+        _ => vec![SchedulePolicy::Ascending, SchedulePolicy::Random],
+    }
+}
+
+fn detector_pool(i: usize) -> Vec<DetectionMode> {
+    match i % 3 {
+        0 => vec![DetectionMode::Off, DetectionMode::Immediate],
+        1 => vec![DetectionMode::Immediate],
+        _ => vec![
+            DetectionMode::Off,
+            DetectionMode::Windowed {
+                window: 10,
+                tolerance: 3,
+            },
+        ],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn lint_clean_swept_grids_never_invert_a_provable_edge(
+        fuser_a in 0usize..4,
+        fuser_b in 0usize..4,
+        attacker in 0usize..3,
+        schedules in 0usize..3,
+        detectors in 0usize..3,
+        rounds in 100u64..140,
+        seed in 0u64..1000,
+    ) {
+        let base = Scenario::new("prop-dominance", SuiteSpec::Landshark)
+            .with_rounds(rounds)
+            .with_seed(seed)
+            .with_attacker(attacker_pool(attacker));
+        let grid = SweepGrid::new(base)
+            .fusers(vec![fuser_pool(fuser_a), fuser_pool(fuser_b)])
+            .schedules(schedule_pool(schedules))
+            .detectors(detector_pool(detectors))
+            .seeds(vec![seed, seed.wrapping_add(1)]);
+
+        if analyze_grid(&grid).iter().any(|f| f.severity == Severity::Error) {
+            // The structural linter rejected the grid; cells may not run.
+            return Ok(());
+        }
+
+        // The grids above always admit at least the schedule chain: the
+        // derivation itself must find edges (no vacuous passes here).
+        let derived = dominance_report(&grid);
+        prop_assert!(
+            !derived.edges.is_empty(),
+            "no provable edges over {} cells despite rankable schedules",
+            grid.len()
+        );
+
+        // Sweep for real, freeze the report, and hold every recorded
+        // metric to every provable ordering.
+        let baseline = Baseline::from_report(&grid, &grid.run_serial());
+        let location = Location::Grid { name: "prop-dominance".to_string() };
+        let violations = vet_baseline_dominance(&grid, &baseline, &location);
+        prop_assert!(
+            violations.is_empty(),
+            "a lint-clean swept grid inverted a provable ordering: {violations:?}"
+        );
+    }
+}

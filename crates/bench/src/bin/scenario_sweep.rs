@@ -66,7 +66,10 @@
 //!   `sweep_lint guarantees` for the per-cell verdicts), and a grid
 //!   whose every corruptible cell is provably invisible to its
 //!   detector, unless `--allow-invisible` is passed (run `sweep_lint
-//!   detectability` for the per-cell verdicts)
+//!   detectability` for the per-cell verdicts), and a freshly-run
+//!   report whose recorded cells invert a cross-cell ordering the
+//!   dominance pass proves, unless `--allow-disorder` is passed (run
+//!   `sweep_lint dominance` for the derived edges)
 //! * `--baseline-dir path` — the baseline directory (default
 //!   `baselines`)
 
@@ -231,6 +234,28 @@ fn main() {
                          invisible to its detector, so the detection columns are vacuous \
                          (pass --allow-invisible to record anyway)",
                     );
+                }
+                // Finally, the freshly-run numbers must respect every
+                // cross-cell ordering the dominance pass proves: freezing
+                // an inverted pair would make `sweep_lint dominance` fail
+                // forever after.
+                let inversions = arsf_analyze::vet_baseline_dominance(
+                    grid,
+                    &current,
+                    &arsf_analyze::Location::Grid {
+                        name: grid.base().name.clone(),
+                    },
+                );
+                if !inversions.is_empty() && !has_flag("--allow-disorder") {
+                    for finding in &inversions {
+                        eprintln!("{}", finding.render());
+                    }
+                    fail(&format!(
+                        "refusing to record a baseline: {} recorded cell pair(s) invert a \
+                         provable ordering (run `sweep_lint dominance` for the derived \
+                         edges; pass --allow-disorder to record anyway)",
+                        inversions.len()
+                    ));
                 }
                 match current.save(&dir) {
                     Ok(path) => println!("recorded baseline {}", path.display()),

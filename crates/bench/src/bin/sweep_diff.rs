@@ -15,7 +15,10 @@
 //!   invisible to its detector — vacuous detection columns
 //!   (`--allow-invisible` overrides; `table2-closed-loop` needs it,
 //!   since its stealthy attacker provably never trips Marzullo's
-//!   overlap check).
+//!   overlap check). Also refuses a freshly-run report whose recorded
+//!   cells invert a cross-cell ordering the dominance pass proves
+//!   (`--allow-disorder` overrides) — a disordered baseline would fail
+//!   `sweep_lint dominance` forever after.
 //! * `check` — run the golden grid(s) and diff each against its stored
 //!   baseline, printing every drifted cell's grid index, column,
 //!   baseline value and new value.
@@ -42,7 +45,9 @@
 
 use std::process::exit;
 
-use arsf_analyze::{analyze_grid_guarantees, detection_vacuous, AnalyzeGrid, Severity};
+use arsf_analyze::{
+    analyze_grid_guarantees, detection_vacuous, vet_baseline_dominance, AnalyzeGrid, Severity,
+};
 use arsf_bench::cli::parse_tolerances;
 use arsf_bench::{arg_value, golden, has_flag};
 use arsf_core::sweep::diff::{diff, DiffConfig, SweepDiff};
@@ -147,6 +152,28 @@ fn record(dir: &str) {
             ));
         }
         let baseline = run_baseline(&grid, &sweeper);
+        // The freshly-run numbers must respect every cross-cell ordering
+        // the theory proves (Table II's schedule chain, the containment
+        // and invisibility certificates): a baseline that freezes an
+        // inverted pair would make the dominance vet fail forever after.
+        let inversions = vet_baseline_dominance(
+            &grid,
+            &baseline,
+            &arsf_analyze::Location::Grid {
+                name: name.to_string(),
+            },
+        );
+        if !inversions.is_empty() && !has_flag("--allow-disorder") {
+            for finding in &inversions {
+                eprintln!("{}", finding.render());
+            }
+            fail(&format!(
+                "refusing to record {name}: {} recorded cell pair(s) invert a provable \
+                 ordering (run `sweep_lint dominance` for the derived edges; pass \
+                 --allow-disorder to record anyway)",
+                inversions.len()
+            ));
+        }
         match baseline.save(dir) {
             Ok(path) => println!(
                 "recorded {name}: {} cells -> {}",
@@ -202,15 +229,16 @@ const USAGE: &str = "\
 usage: sweep_diff <record|check|diff a.json b.json>
                   [--grid name] [--dir path] [--threads k]
                   [--tol col=abs[:rel],...] [--allow-unbounded]
-                  [--allow-invisible]
+                  [--allow-invisible] [--allow-disorder]
 
   record   run the golden grid(s), write <dir>/<content-address>.json
            (refuses grids with error-severity arsf-analyze findings,
             grids containing cells with no static width bound unless
-            --allow-unbounded is passed, and grids whose every
-            corruptible cell is provably invisible to its detector
-            unless --allow-invisible is passed; table2-closed-loop
-            needs the latter)
+            --allow-unbounded is passed, grids whose every corruptible
+            cell is provably invisible to its detector unless
+            --allow-invisible is passed — table2-closed-loop needs it —
+            and runs whose recorded cells invert a provable cross-cell
+            ordering unless --allow-disorder is passed)
   check    re-run the golden grid(s), diff against stored baselines
   diff     compare two baseline files directly
 
@@ -235,7 +263,10 @@ fn main() {
         for arg in &args {
             if skip {
                 skip = false;
-            } else if arg == "--allow-unbounded" || arg == "--allow-invisible" {
+            } else if arg == "--allow-unbounded"
+                || arg == "--allow-invisible"
+                || arg == "--allow-disorder"
+            {
                 // the boolean flags: take no value
             } else if arg.starts_with("--") {
                 skip = true; // every other flag takes a value

@@ -1,5 +1,5 @@
-//! Static lint runner over the three experiment-definition layers:
-//! registry presets, command-line sweep grids, and the committed golden
+//! Static lint runner over the experiment-definition layers: registry
+//! presets, command-line sweep grids, and the committed golden
 //! baselines — the CLI face of `arsf-analyze`.
 //!
 //! Run with: `cargo run --release -p arsf-bench --bin sweep_lint -- <cmd>`
@@ -32,11 +32,22 @@
 //!   a round, then vet each stored baseline's `flagged_rounds` and
 //!   condemnation columns against the verdicts: a recorded cell that
 //!   contradicts one is a `detect-violation` error.
+//! * `dominance` — statically derive the partial order over each golden
+//!   grid's cells (Table II's schedule chain, containment/invisibility
+//!   certificates, the width-bound lattice — no simulation), then vet
+//!   each stored baseline's metrics against every provable edge: two
+//!   cells recorded in the wrong order is an `order-violation` error
+//!   even when both sit inside their per-cell tolerances.
+//! * `all` — run every pass above (except `grid`, which needs flags) in
+//!   one invocation: per-pass section headers in text mode, a `pass`
+//!   field in `--json`, and the max exit code across passes.
 //!
 //! Options:
-//! * `--json` — emit findings as a JSON array instead of text
-//! * `--dir path` — the baseline directory (`baselines`, `guarantees`
-//!   and `detectability` subcommands; default `baselines`)
+//! * `--json` — emit findings as a JSON array instead of text; every
+//!   object carries `"schema": 1` and its `"pass"` name
+//! * `--dir path` — the baseline directory (`baselines`, `guarantees`,
+//!   `detectability`, `dominance` and `all` subcommands; default
+//!   `baselines`)
 //! * `--tol col=abs[:rel],…` — check-harness tolerances to vet
 //!   (`baselines` subcommand only)
 //!
@@ -48,8 +59,9 @@ use std::path::Path;
 use std::process::exit;
 
 use arsf_analyze::{
-    analyze_baseline_dir, analyze_grid_detectability, analyze_grid_guarantees, analyze_scenario,
-    exit_code, render, render_json, tolerance_findings, vet_baseline_detectability,
+    analyze_baseline_dir, analyze_grid_detectability, analyze_grid_dominance,
+    analyze_grid_guarantees, analyze_scenario, exit_code, render, render_json_passes,
+    render_passes, tolerance_findings, vet_baseline_detectability, vet_baseline_dominance,
     vet_baseline_guarantees, AnalyzeGrid, Finding, Location, Severity,
 };
 use arsf_bench::cli::{grid_from_args, parse_tolerances};
@@ -59,7 +71,8 @@ use arsf_core::sweep::diff::DiffConfig;
 use arsf_core::sweep::store::{baseline_path, grid_address, Baseline};
 
 const USAGE: &str = "\
-usage: sweep_lint <presets|grid|baselines|guarantees|detectability> [--json]
+usage: sweep_lint <presets|grid|baselines|guarantees|detectability|dominance|all>
+                  [--json]
 
   presets     lint every registry preset
   grid        lint the sweep grid described by scenario_sweep's flags
@@ -76,6 +89,13 @@ usage: sweep_lint <presets|grid|baselines|guarantees|detectability> [--json]
               (provably invisible / provably flagged / contingent, no
               simulation) and vet the stored baselines' flagged_rounds
               and condemnation columns against them [--dir path]
+  dominance   derive the provable cross-cell orderings of each golden
+              grid (schedule chain, certificates, width-bound lattice,
+              no simulation) and vet the stored baselines against every
+              provable edge [--dir path]
+  all         presets + baselines + guarantees + detectability +
+              dominance in one pass, with per-pass headers (text) or a
+              \"pass\" field (--json) and the max exit code [--dir path]
 
 exit codes:
   0  clean    - no findings above info severity
@@ -88,32 +108,34 @@ fn fail(message: &str) -> ! {
     exit(2);
 }
 
-/// Prints the findings (text or `--json`) and exits with the lint
-/// convention: 2 on errors, 1 on warnings, 0 otherwise.
-fn emit(findings: &[Finding]) -> ! {
+/// Prints one pass's findings (text or `--json`; JSON objects carry
+/// `"schema": 1` and the pass name) and exits with the lint convention:
+/// 2 on errors, 1 on warnings, 0 otherwise.
+fn emit(pass: &str, findings: Vec<Finding>) -> ! {
+    let code = exit_code(&findings);
     if has_flag("--json") {
-        print!("{}", render_json(findings));
+        print!("{}", render_json_passes(&[(pass, findings)]));
     } else {
-        print!("{}", render(findings));
+        print!("{}", render(&findings));
     }
-    exit(exit_code(findings));
+    exit(code);
 }
 
-fn presets() -> ! {
+fn presets() -> Vec<Finding> {
     let mut findings = Vec::new();
     for preset in registry() {
         findings.extend(analyze_scenario(&preset));
     }
     findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
-    emit(&findings)
+    findings
 }
 
-fn grid() -> ! {
+fn grid() -> Vec<Finding> {
     let grid = grid_from_args().unwrap_or_else(|e| fail(&e));
-    emit(&grid.analyze())
+    grid.analyze()
 }
 
-fn baselines() -> ! {
+fn baselines() -> Vec<Finding> {
     let dir = arg_value("--dir").unwrap_or_else(|| "baselines".to_string());
     let known: Vec<(String, String)> = golden::all()
         .iter()
@@ -138,31 +160,32 @@ fn baselines() -> ! {
         findings.extend(tolerance_findings(&config, &refs));
         findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
     }
-    emit(&findings)
+    findings
 }
 
-fn guarantees() -> ! {
+/// Shared shape of the golden-grid static passes: run a static analysis
+/// over each golden grid (prefixing messages with the grid name), then
+/// vet its stored baseline, warning when there is nothing to vet.
+fn golden_pass(
+    what: &str,
+    analyze: impl Fn(&arsf_core::sweep::SweepGrid) -> Vec<Finding>,
+    vet: impl Fn(&arsf_core::sweep::SweepGrid, &Baseline, &Location) -> Vec<Finding>,
+) -> Vec<Finding> {
     let dir = arg_value("--dir").unwrap_or_else(|| "baselines".to_string());
     let mut findings = Vec::new();
     for (name, grid) in golden::all() {
-        // Static pass: derive every cell's bound (or no-bound verdict)
-        // without running a single simulation round. The cell location
-        // is kept; the message is prefixed with the grid so two grids'
-        // cell indices stay distinguishable.
-        for mut finding in analyze_grid_guarantees(&grid) {
+        // Static pass: no simulation rounds. The cell(-pair) location is
+        // kept; the message is prefixed with the grid so two grids'
+        // indices stay distinguishable.
+        for mut finding in analyze(&grid) {
             finding.message = format!("golden grid `{name}`: {}", finding.message);
             findings.push(finding);
         }
-        // Vetting pass: every stored cell record must respect its
-        // statically derived bound.
+        // Vetting pass: every stored record must respect the statics.
         let address = grid_address(&grid);
         let path = baseline_path(&dir, &address);
         match Baseline::load(&path) {
-            Ok(baseline) => findings.extend(vet_baseline_guarantees(
-                &grid,
-                &baseline,
-                &Location::File { path },
-            )),
+            Ok(baseline) => findings.extend(vet(&grid, &baseline, &Location::File { path })),
             Err(_) => findings.push(Finding {
                 lint: "baseline-missing",
                 severity: Severity::Warn,
@@ -171,51 +194,59 @@ fn guarantees() -> ! {
                 },
                 message: format!(
                     "no stored baseline {address}.json in {dir} to vet against the static \
-                     guarantees"
+                     {what}"
                 ),
             }),
         }
     }
     findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
-    emit(&findings)
+    findings
 }
 
-fn detectability() -> ! {
-    let dir = arg_value("--dir").unwrap_or_else(|| "baselines".to_string());
-    let mut findings = Vec::new();
-    for (name, grid) in golden::all() {
-        // Static pass: derive every cell's detection verdict without
-        // running a single simulation round, plus the grid-level
-        // attacker × detector coverage matrix.
-        for mut finding in analyze_grid_detectability(&grid) {
-            finding.message = format!("golden grid `{name}`: {}", finding.message);
-            findings.push(finding);
-        }
-        // Vetting pass: every stored cell record's flagged_rounds and
-        // condemnation columns must respect its cell's verdict.
-        let address = grid_address(&grid);
-        let path = baseline_path(&dir, &address);
-        match Baseline::load(&path) {
-            Ok(baseline) => findings.extend(vet_baseline_detectability(
-                &grid,
-                &baseline,
-                &Location::File { path },
-            )),
-            Err(_) => findings.push(Finding {
-                lint: "baseline-missing",
-                severity: Severity::Warn,
-                location: Location::Grid {
-                    name: name.to_string(),
-                },
-                message: format!(
-                    "no stored baseline {address}.json in {dir} to vet against the static \
-                     detectability verdicts"
-                ),
-            }),
-        }
+fn guarantees() -> Vec<Finding> {
+    golden_pass(
+        "guarantees",
+        analyze_grid_guarantees,
+        vet_baseline_guarantees,
+    )
+}
+
+fn detectability() -> Vec<Finding> {
+    golden_pass(
+        "detectability verdicts",
+        analyze_grid_detectability,
+        vet_baseline_detectability,
+    )
+}
+
+fn dominance() -> Vec<Finding> {
+    golden_pass(
+        "dominance orderings",
+        analyze_grid_dominance,
+        vet_baseline_dominance,
+    )
+}
+
+fn all() -> ! {
+    let passes = vec![
+        ("presets", presets()),
+        ("baselines", baselines()),
+        ("guarantees", guarantees()),
+        ("detectability", detectability()),
+        ("dominance", dominance()),
+    ];
+    // Max-of exit codes == the lint convention over the merged set.
+    let code = passes
+        .iter()
+        .map(|(_, findings)| exit_code(findings))
+        .max()
+        .unwrap_or(0);
+    if has_flag("--json") {
+        print!("{}", render_json_passes(&passes));
+    } else {
+        print!("{}", render_passes(&passes));
     }
-    findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
-    emit(&findings)
+    exit(code);
 }
 
 fn main() {
@@ -224,11 +255,13 @@ fn main() {
         exit(0);
     }
     match std::env::args().nth(1).as_deref() {
-        Some("presets") => presets(),
-        Some("grid") => grid(),
-        Some("baselines") => baselines(),
-        Some("guarantees") => guarantees(),
-        Some("detectability") => detectability(),
+        Some("presets") => emit("presets", presets()),
+        Some("grid") => emit("grid", grid()),
+        Some("baselines") => emit("baselines", baselines()),
+        Some("guarantees") => emit("guarantees", guarantees()),
+        Some("detectability") => emit("detectability", detectability()),
+        Some("dominance") => emit("dominance", dominance()),
+        Some("all") => all(),
         _ => {
             eprint!("{USAGE}");
             exit(2);

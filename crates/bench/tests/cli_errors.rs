@@ -1,0 +1,149 @@
+//! Error-path coverage for the shared CLI parsing layer
+//! (`arsf_bench::cli`) and the binaries built on it: a malformed flag
+//! must produce a diagnostic naming the bad token and exit code 2 —
+//! never a panic, never a silent default.
+
+use std::process::Command;
+
+use arsf_bench::cli::{parse_cells, parse_fault, parse_strategy, parse_tolerances};
+
+/// Runs a compiled binary and returns `(exit code, stderr)`.
+fn run(exe: &str, args: &[&str]) -> (i32, String) {
+    let output = Command::new(exe).args(args).output().expect("binary runs");
+    (
+        output.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+fn run_scenario_sweep(args: &[&str]) -> (i32, String) {
+    run(env!("CARGO_BIN_EXE_scenario_sweep"), args)
+}
+
+fn run_sweep_lint(args: &[&str]) -> (i32, String) {
+    run(env!("CARGO_BIN_EXE_sweep_lint"), args)
+}
+
+#[test]
+fn parse_cells_rejects_reversed_and_empty_ranges() {
+    assert_eq!(parse_cells("5..2").unwrap_err(), "cell range 5..2 is empty");
+    assert_eq!(parse_cells("7..7").unwrap_err(), "cell range 7..7 is empty");
+    assert!(parse_cells("3").unwrap_err().contains("a..b"));
+    assert!(parse_cells("a..4")
+        .unwrap_err()
+        .contains("bad cell index `a`"));
+}
+
+#[test]
+fn parse_fault_names_the_malformed_component() {
+    // Missing the probability (and the param): too few components.
+    assert!(parse_fault("0:bias")
+        .unwrap_err()
+        .contains("sensor:kind[:param]:probability"));
+    // A bias fault without its offset parameter: the third token is the
+    // probability, so the param slot is missing.
+    assert!(parse_fault("0:bias:0.5")
+        .unwrap_err()
+        .contains("sensor:kind[:param]:probability"));
+    assert!(parse_fault("x:bias:3:0.5")
+        .unwrap_err()
+        .contains("bad sensor index `x`"));
+    assert!(parse_fault("0:bias:3:1.5")
+        .unwrap_err()
+        .contains("bad probability `1.5`"));
+    assert!(parse_fault("0:gremlin:3:0.5")
+        .unwrap_err()
+        .contains("unknown fault kind `gremlin`"));
+}
+
+#[test]
+fn parse_tolerances_names_the_malformed_entry() {
+    assert!(parse_tolerances("mean_width=abc")
+        .unwrap_err()
+        .contains("bad tolerance `abc`"));
+    assert!(parse_tolerances("mean_width")
+        .unwrap_err()
+        .contains("column=abs[:rel]"));
+    assert!(parse_tolerances("=1e-9")
+        .unwrap_err()
+        .contains("empty column name"));
+    assert!(parse_tolerances("mean_width=-1.0")
+        .unwrap_err()
+        .contains("bad tolerance `-1.0`"));
+}
+
+#[test]
+fn parse_strategy_rejects_unknown_names() {
+    assert_eq!(
+        parse_strategy("nope").unwrap_err(),
+        "unknown strategy `nope`"
+    );
+}
+
+#[test]
+fn scenario_sweep_rejects_a_reversed_cell_range() {
+    let (code, stderr) = run_scenario_sweep(&["--fusers", "marzullo", "--cells", "5..2"]);
+    assert_eq!(code, 2, "a reversed range is a usage error: {stderr}");
+    assert!(
+        stderr.contains("cell range 5..2 is empty"),
+        "the diagnostic names the range: {stderr}"
+    );
+}
+
+#[test]
+fn scenario_sweep_rejects_an_empty_cell_range() {
+    let (code, stderr) = run_scenario_sweep(&["--fusers", "marzullo", "--cells", "7..7"]);
+    assert_eq!(code, 2, "an empty range is a usage error: {stderr}");
+    assert!(stderr.contains("is empty"), "{stderr}");
+}
+
+#[test]
+fn scenario_sweep_rejects_a_malformed_fault_spec() {
+    let (code, stderr) = run_scenario_sweep(&["--fusers", "marzullo", "--fault", "0:bias"]);
+    assert_eq!(code, 2, "a malformed fault is a usage error: {stderr}");
+    assert!(
+        stderr.contains("sensor:kind[:param]:probability"),
+        "the diagnostic shows the expected shape: {stderr}"
+    );
+}
+
+#[test]
+fn scenario_sweep_rejects_an_unknown_strategy() {
+    let (code, stderr) = run_scenario_sweep(&["--fusers", "marzullo", "--strategy", "nope"]);
+    assert_eq!(code, 2, "an unknown strategy is a usage error: {stderr}");
+    assert!(
+        stderr.contains("unknown strategy `nope`"),
+        "the diagnostic names the strategy: {stderr}"
+    );
+}
+
+#[test]
+fn sweep_lint_rejects_a_malformed_tolerance() {
+    let (code, stderr) = run_sweep_lint(&["baselines", "--tol", "mean_width=abc"]);
+    assert_eq!(code, 2, "a malformed tolerance is a usage error: {stderr}");
+    assert!(
+        stderr.contains("bad tolerance `abc`"),
+        "the diagnostic names the token: {stderr}"
+    );
+}
+
+#[test]
+fn sweep_lint_grid_propagates_cli_errors() {
+    let (code, stderr) = run_sweep_lint(&["grid", "--strategy", "nope"]);
+    assert_eq!(code, 2, "grid mode shares the CLI parser: {stderr}");
+    assert!(stderr.contains("unknown strategy `nope`"), "{stderr}");
+}
+
+#[test]
+fn sweep_lint_without_a_subcommand_prints_usage() {
+    let (code, stderr) = run_sweep_lint(&[]);
+    assert_eq!(code, 2);
+    assert!(
+        stderr.contains("usage: sweep_lint"),
+        "the usage text is shown: {stderr}"
+    );
+    assert!(
+        stderr.contains("dominance") && stderr.contains("all"),
+        "the usage lists the new subcommands: {stderr}"
+    );
+}

@@ -18,14 +18,22 @@
 //! the verdicts, a hand-corrupted flagged count is flagged at the error
 //! tier, and the `sweep_lint` binary's `--json` mode carries the same
 //! findings as the text mode for every subcommand.
+//!
+//! The dominance layer closes the loop: the pass derives a nonempty set
+//! of provable cross-cell orderings for both golden grids (Table II's
+//! schedule chain among them) without simulating, the committed
+//! baselines respect every edge, and a hand-perturbed pair of cells that
+//! stays inside its per-cell tolerances — invisible to the guarantee and
+//! detectability passes — is still caught as an `order-violation` when
+//! it inverts a provable edge.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
 use arsf_analyze::{
     analyze_baseline_dir, analyze_baseline_file, analyze_grid_detectability,
-    analyze_grid_guarantees, exit_code, vet_baseline_detectability, vet_baseline_guarantees,
-    AnalyzeGrid, Location, Severity,
+    analyze_grid_guarantees, exit_code, vet_baseline_detectability, vet_baseline_dominance,
+    vet_baseline_guarantees, AnalyzeGrid, Location, Severity,
 };
 use arsf_bench::golden;
 use arsf_core::scenario::{FuserSpec, Scenario, SuiteSpec};
@@ -284,6 +292,8 @@ fn sweep_lint_emits_json_for_every_subcommand() {
         vec!["baselines"],
         vec!["guarantees"],
         vec!["detectability"],
+        vec!["dominance"],
+        vec!["all"],
     ] {
         let (text_code, text) = run_sweep_lint(&subcommand);
         let mut json_args = subcommand.clone();
@@ -314,6 +324,125 @@ fn sweep_lint_emits_json_for_every_subcommand() {
         assert!(
             subcommand[0] != "detectability" || json.contains("detect-verdict"),
             "detectability --json carries the per-cell verdicts"
+        );
+        // Every JSON object carries the stable schema version and its
+        // pass name — the machine-readable contract downstream tooling
+        // keys off.
+        assert_eq!(
+            json.matches("\"schema\": 1").count(),
+            json_findings,
+            "{subcommand:?}: every JSON finding carries `\"schema\": 1`"
+        );
+        assert_eq!(
+            json.matches("\"pass\":").count(),
+            json_findings,
+            "{subcommand:?}: every JSON finding carries its pass name"
+        );
+        if subcommand[0] == "all" {
+            for pass in [
+                "presets",
+                "baselines",
+                "guarantees",
+                "detectability",
+                "dominance",
+            ] {
+                assert!(
+                    text.contains(&format!("== {pass} ==")),
+                    "`all` text mode has a `{pass}` section header:\n{text}"
+                );
+            }
+            assert!(
+                json.contains("\"pass\": \"dominance\""),
+                "`all` --json tags the dominance findings"
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_lint_dominance_is_clean_on_the_committed_tree() {
+    // The acceptance property: the dominance pass derives a nonempty
+    // edge set for both golden grids with zero simulation, and the
+    // committed baselines respect every provable edge (exit 0).
+    let (code, out) = run_sweep_lint(&["dominance"]);
+    assert_eq!(code, 0, "committed baselines vet clean: {out}");
+    for grid in ["open-loop-48", "table2-closed-loop"] {
+        assert!(
+            out.lines()
+                .any(|l| l.contains("order-edge") && l.contains(grid)),
+            "golden grid {grid} derives at least one provable edge:\n{out}"
+        );
+    }
+    // Table II's schedule chain on the closed-loop grid: ascending below
+    // random below descending, per seed.
+    assert!(
+        out.contains("cells 4 ⪯ 2") && out.contains("cells 0 ⪯ 4"),
+        "the asc ⪯ random ⪯ desc chain is derived:\n{out}"
+    );
+}
+
+#[test]
+fn committed_baselines_respect_the_dominance_lattice() {
+    for (name, grid) in golden::all() {
+        let path = baseline_path(baselines_dir(), &grid_address(&grid));
+        let baseline = Baseline::load(&path).expect("committed baseline loads");
+        let findings = vet_baseline_dominance(&grid, &baseline, &Location::File { path });
+        assert!(
+            findings.is_empty(),
+            "golden grid {name}: committed baseline inverts a provable ordering: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn perturbed_preemption_count_inverts_the_schedule_chain() {
+    // Hand-perturb the closed-loop baseline: give the ascending-schedule
+    // cell 0 more preemptions (80) than the recorded descending cell 2
+    // (71) and random cell 4 (26). Both perturbed values stay plausible
+    // in isolation — the guarantee and detectability passes cannot see
+    // them — but they invert two provable schedule-ordering edges, and
+    // the dominance vet must name both cell pairs, the column, and the
+    // proving rule at the error tier.
+    let grid = golden::find("table2-closed-loop").expect("the closed-loop golden grid exists");
+    let path = baseline_path(baselines_dir(), &grid_address(&grid));
+    let mut baseline = Baseline::load(&path).expect("committed baseline loads");
+    let slot = baseline.rows[0]
+        .metrics
+        .iter_mut()
+        .find(|(name, _)| name == "preemptions")
+        .expect("cell 0 records a preemptions column");
+    slot.1 = Some(80.0);
+
+    let guarantee_view =
+        vet_baseline_guarantees(&grid, &baseline, &Location::File { path: path.clone() });
+    let detect_view =
+        vet_baseline_detectability(&grid, &baseline, &Location::File { path: path.clone() });
+    assert!(
+        guarantee_view.is_empty() && detect_view.is_empty(),
+        "the perturbation is invisible to the per-cell passes"
+    );
+
+    let findings = vet_baseline_dominance(&grid, &baseline, &Location::File { path });
+    assert!(
+        findings
+            .iter()
+            .all(|f| f.lint == "order-violation" && f.severity == Severity::Error),
+        "only order violations are raised: {findings:?}"
+    );
+    assert_eq!(exit_code(&findings), 2);
+    let rendered: Vec<String> = findings.iter().map(|f| f.render()).collect();
+    let joined = rendered.join("\n");
+    for needle in [
+        "cells 0 ⪯ 2",
+        "cells 0 ⪯ 4",
+        "`preemptions`",
+        "80",
+        "schedule ordering",
+        "`schedules`-axis",
+    ] {
+        assert!(
+            joined.contains(needle),
+            "the violations should mention `{needle}`:\n{joined}"
         );
     }
 }

@@ -254,6 +254,20 @@ pub enum StrategyVisibility {
     Opportunistic,
 }
 
+impl StrategyVisibility {
+    /// The strategy's rank in the attacker-strength lattice: honest (no
+    /// forgery) below stealthy (clamped forgery) below opportunistic
+    /// (unconstrained placement — the full-knowledge worst case, since
+    /// nothing restricts where its forgeries land).
+    pub fn strength_rank(self) -> u8 {
+        match self {
+            StrategyVisibility::Honest => 0,
+            StrategyVisibility::Stealthy => 1,
+            StrategyVisibility::Opportunistic => 2,
+        }
+    }
+}
+
 /// The scenario's attacker model.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -317,6 +331,28 @@ impl AttackerSpec {
                 }
             }
             AttackerSpec::RandomEachRound => 1,
+        }
+    }
+
+    /// Compares two attackers in the strength lattice: the product order
+    /// of the strategy's [`StrategyVisibility::strength_rank`] and
+    /// [`AttackerSpec::max_attacked_per_round`].
+    ///
+    /// `Some(Less)` means `self` is provably the weaker attacker — its
+    /// strategy class is no more capable *and* it forges no more sensors
+    /// per round — so no worst-case metric bound can be larger under it.
+    /// `None` means the two are incomparable (one axis says weaker, the
+    /// other stronger), and the static dominance pass makes no claim.
+    pub fn strength_partial_cmp(&self, other: &AttackerSpec) -> Option<std::cmp::Ordering> {
+        use std::cmp::Ordering;
+        let rank = |a: &AttackerSpec| (a.visibility().strength_rank(), a.max_attacked_per_round());
+        let (va, ca) = rank(self);
+        let (vb, cb) = rank(other);
+        match (va.cmp(&vb), ca.cmp(&cb)) {
+            (Ordering::Equal, count) => Some(count),
+            (visibility, Ordering::Equal) => Some(visibility),
+            (visibility, count) if visibility == count => Some(visibility),
+            _ => None,
         }
     }
 
@@ -1204,6 +1240,42 @@ mod tests {
             strategy: StrategySpec::Truthful,
         };
         assert_eq!(truthful.max_attacked_per_round(), 0);
+    }
+
+    #[test]
+    fn strength_partial_cmp_is_the_product_order() {
+        use std::cmp::Ordering;
+        let honest = AttackerSpec::None;
+        let random = AttackerSpec::RandomEachRound;
+        let phantom_two = AttackerSpec::Fixed {
+            sensors: vec![0, 2],
+            strategy: StrategySpec::PhantomOptimal,
+        };
+        let truthful = AttackerSpec::Fixed {
+            sensors: vec![0, 1, 2],
+            strategy: StrategySpec::Truthful,
+        };
+        // Honest below any armed stealthy attacker; reflexive equality.
+        assert_eq!(honest.strength_partial_cmp(&random), Some(Ordering::Less));
+        assert_eq!(
+            random.strength_partial_cmp(&honest),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(honest.strength_partial_cmp(&honest), Some(Ordering::Equal));
+        // Same visibility class, more forged sensors: strictly stronger.
+        assert_eq!(
+            random.strength_partial_cmp(&phantom_two),
+            Some(Ordering::Less)
+        );
+        // Truthful forges nothing: equal strength to no attacker at all.
+        assert_eq!(
+            honest.strength_partial_cmp(&truthful),
+            Some(Ordering::Equal)
+        );
+        // Ranks come from the visibility lattice.
+        assert_eq!(StrategyVisibility::Honest.strength_rank(), 0);
+        assert_eq!(StrategyVisibility::Stealthy.strength_rank(), 1);
+        assert_eq!(StrategyVisibility::Opportunistic.strength_rank(), 2);
     }
 
     #[test]

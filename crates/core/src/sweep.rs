@@ -263,6 +263,45 @@ impl SweepGrid {
         index
     }
 
+    /// Decodes cell `index` back into per-axis coordinates — the inverse
+    /// of [`SweepGrid::cell_index`], and the coordinate view of the
+    /// row-major decoding [`SweepGrid::scenario`] performs.
+    ///
+    /// Static analyses use it to enumerate the cells neighbouring a cell
+    /// along exactly one axis — the pairs dominance edges connect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn coords(&self, index: usize) -> AxisCoords {
+        assert!(index < self.len(), "cell {index} out of range");
+        let mut rem = index;
+        let mut pick = |len: usize| {
+            let i = rem % len;
+            rem /= len;
+            i
+        };
+        // Fastest-varying axes are decoded first, mirroring `scenario`.
+        let seed = pick(self.seeds.len());
+        let rounds = pick(self.rounds.len());
+        let detector = pick(self.detectors.len());
+        let fuser = pick(self.fusers.len());
+        let schedule = pick(self.schedules.len());
+        let attacker = pick(self.attackers.len());
+        let fault_set = pick(self.fault_sets.len());
+        let suite = pick(self.suites.len());
+        AxisCoords {
+            suite,
+            fault_set,
+            attacker,
+            schedule,
+            fuser,
+            detector,
+            rounds,
+            seed,
+        }
+    }
+
     /// The number of grid cells (the product of all axis lengths).
     ///
     /// # Panics
@@ -877,6 +916,31 @@ mod tests {
         combos.sort_unstable();
         combos.dedup();
         assert_eq!(combos.len(), before, "duplicate grid cell");
+    }
+
+    #[test]
+    fn coords_round_trips_through_cell_index() {
+        let grid = full_grid(10);
+        for index in 0..grid.len() {
+            let coords = grid.coords(index);
+            assert_eq!(grid.cell_index(coords), index, "cell {index}");
+        }
+        // Spot-check the decoded coordinates agree with the materialised
+        // scenario: cell 1 differs from cell 0 only on the seed axis.
+        assert_eq!(grid.coords(0), AxisCoords::default());
+        assert_eq!(
+            grid.coords(1),
+            AxisCoords {
+                seed: 1,
+                ..AxisCoords::default()
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn coords_rejects_out_of_range_cells() {
+        let _ = full_grid(10).coords(48);
     }
 
     #[test]

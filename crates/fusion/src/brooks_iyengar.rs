@@ -79,7 +79,7 @@ pub fn fuse<T: Scalar>(
             if let Some((last, last_support)) = regions.last_mut() {
                 if *last_support == support && last.hi() == piece.lo() {
                     *last = Interval::new(last.lo(), piece.hi())
-                        .expect("merged regions keep endpoint order");
+                        .unwrap_or_else(|_| unreachable!("merged regions keep endpoint order"));
                     return;
                 }
             }
@@ -92,7 +92,8 @@ pub fn fuse<T: Scalar>(
         let at_point = point_cov[i];
         if at_point >= required {
             push_piece(
-                Interval::new(p, p).expect("degenerate interval"),
+                Interval::new(p, p)
+                    .unwrap_or_else(|_| unreachable!("a degenerate interval is ordered")),
                 at_point,
                 &mut regions,
             );
@@ -100,7 +101,7 @@ pub fn fuse<T: Scalar>(
         if i + 1 < breakpoints.len() && seg_cov[i] >= required {
             let q = breakpoints[i + 1];
             push_piece(
-                Interval::new(p, q).expect("breakpoints are sorted"),
+                Interval::new(p, q).unwrap_or_else(|_| unreachable!("breakpoints are sorted")),
                 seg_cov[i],
                 &mut regions,
             );
@@ -115,7 +116,7 @@ pub fn fuse<T: Scalar>(
     // included, so it always equals Marzullo's fusion interval.
     let lo = regions[0].0.lo();
     let hi = regions[regions.len() - 1].0.hi();
-    let interval = Interval::new(lo, hi).expect("regions are sorted");
+    let interval = Interval::new(lo, hi).unwrap_or_else(|_| unreachable!("regions are sorted"));
 
     // The weighted point estimate uses positive-measure regions when any
     // exist (a zero-width region sandwiched inside wider agreement carries

@@ -50,7 +50,7 @@ impl DynamicsBound {
     pub fn propagate(&self, interval: &Interval<f64>, dt: f64) -> Interval<f64> {
         let slack = self.max_rate * dt.abs();
         Interval::new(interval.lo() - slack, interval.hi() + slack)
-            .expect("inflation preserves ordering")
+            .unwrap_or_else(|_| unreachable!("inflation preserves endpoint ordering"))
     }
 }
 

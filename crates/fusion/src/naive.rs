@@ -64,9 +64,8 @@ pub fn fuse<T: Scalar>(intervals: &[Interval<T>], f: usize) -> Result<Interval<T
         }
     }
     match (lo, hi) {
-        (Some(lo), Some(hi)) => {
-            Ok(Interval::new(lo, hi).expect("min <= max over the same candidate set"))
-        }
+        (Some(lo), Some(hi)) => Ok(Interval::new(lo, hi)
+            .unwrap_or_else(|_| unreachable!("min <= max over the same candidate set"))),
         _ => Err(FusionError::NoAgreement { required }),
     }
 }

@@ -24,7 +24,7 @@ impl PointEstimate {
     /// The estimate viewed as the interval `[value − radius, value + radius]`.
     pub fn to_interval(self) -> Interval<f64> {
         Interval::centered(self.value, self.radius)
-            .expect("radius is validated non-negative at construction sites")
+            .unwrap_or_else(|_| unreachable!("radius is validated non-negative at construction"))
     }
 }
 
@@ -143,7 +143,7 @@ pub fn midpoint_median<T: Scalar>(intervals: &[Interval<T>]) -> Result<PointEsti
 }
 
 fn median_in_place(xs: &mut [f64]) -> f64 {
-    xs.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite by interval invariant"));
+    xs.sort_unstable_by(f64::total_cmp);
     let n = xs.len();
     if n % 2 == 1 {
         xs[n / 2]

@@ -234,7 +234,8 @@ pub fn recommend_order(widths: &[f64], f: usize, trusted: &[bool]) -> Transmissi
     let mut best: Option<(f64, Vec<usize>)> = None;
     let mut perm: Vec<usize> = (0..n).collect();
     permute(&mut perm, 0, &mut |candidate| {
-        let order = TransmissionOrder::new(candidate.to_vec()).expect("permutation");
+        let order = TransmissionOrder::new(candidate.to_vec())
+            .unwrap_or_else(|| unreachable!("permute visits permutations of 0..n only"));
         // Primary: risk; secondary: trusted sensors as late as possible
         // (their late slots deny information at zero risk); tertiary:
         // lexicographic for determinism.
@@ -256,7 +257,9 @@ pub fn recommend_order(widths: &[f64], f: usize, trusted: &[bool]) -> Transmissi
             best = Some((score, candidate.to_vec()));
         }
     });
-    TransmissionOrder::new(best.expect("n >= 1").1).expect("permutation")
+    let winner = best.unwrap_or_else(|| unreachable!("n >= 1, so at least one permutation scored"));
+    TransmissionOrder::new(winner.1)
+        .unwrap_or_else(|| unreachable!("the winner is one of the visited permutations"))
 }
 
 fn permute(items: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {

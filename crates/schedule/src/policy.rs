@@ -64,7 +64,8 @@ impl SchedulePolicy {
             SchedulePolicy::Random => {
                 let mut idx: Vec<usize> = (0..n).collect();
                 idx.shuffle(rng);
-                TransmissionOrder::new(idx).expect("a shuffle of 0..n is a permutation")
+                TransmissionOrder::new(idx)
+                    .unwrap_or_else(|| unreachable!("a shuffle of 0..n is a permutation"))
             }
             SchedulePolicy::Fixed(order) => {
                 assert_eq!(order.len(), n, "fixed order length must match sensor count");
@@ -78,6 +79,24 @@ impl SchedulePolicy {
                 );
                 base.rotated((round % n.max(1) as u64) as usize)
             }
+        }
+    }
+
+    /// The policy's rank in the paper's Table II exposure ordering, when
+    /// it has one: `Ascending` (`0`, the recommended schedule — an
+    /// adaptive attacker learns least before transmitting) below `Random`
+    /// (`1`) below `Descending` (`2`, the attacker transmits last with
+    /// full knowledge of the precise sensors).
+    ///
+    /// [`SchedulePolicy::Fixed`] and [`SchedulePolicy::Rotating`] return
+    /// `None`: their exposure depends on the concrete order, so the
+    /// static dominance pass makes no claim about them.
+    pub fn exposure_rank(&self) -> Option<u8> {
+        match self {
+            SchedulePolicy::Ascending => Some(0),
+            SchedulePolicy::Random => Some(1),
+            SchedulePolicy::Descending => Some(2),
+            SchedulePolicy::Fixed(_) | SchedulePolicy::Rotating(_) => None,
         }
     }
 
@@ -96,13 +115,11 @@ impl SchedulePolicy {
 fn sort_by_width(widths: &[f64], descending: bool) -> TransmissionOrder {
     let mut idx: Vec<usize> = (0..widths.len()).collect();
     idx.sort_by(|&a, &b| {
-        let cmp = widths[a]
-            .partial_cmp(&widths[b])
-            .expect("interval widths are finite");
+        let cmp = widths[a].total_cmp(&widths[b]);
         let cmp = if descending { cmp.reverse() } else { cmp };
         cmp.then(a.cmp(&b))
     });
-    TransmissionOrder::new(idx).expect("a sort of 0..n is a permutation")
+    TransmissionOrder::new(idx).unwrap_or_else(|| unreachable!("a sort of 0..n is a permutation"))
 }
 
 #[cfg(test)]
@@ -181,6 +198,16 @@ mod tests {
         assert_eq!(SchedulePolicy::Ascending.name(), "ascending");
         assert_eq!(SchedulePolicy::Descending.name(), "descending");
         assert_eq!(SchedulePolicy::Random.name(), "random");
+    }
+
+    #[test]
+    fn exposure_ranks_follow_table_two() {
+        assert_eq!(SchedulePolicy::Ascending.exposure_rank(), Some(0));
+        assert_eq!(SchedulePolicy::Random.exposure_rank(), Some(1));
+        assert_eq!(SchedulePolicy::Descending.exposure_rank(), Some(2));
+        let base = TransmissionOrder::new(vec![0, 1]).unwrap();
+        assert_eq!(SchedulePolicy::Fixed(base.clone()).exposure_rank(), None);
+        assert_eq!(SchedulePolicy::Rotating(base).exposure_rank(), None);
     }
 
     #[test]
