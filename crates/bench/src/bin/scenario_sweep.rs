@@ -34,10 +34,26 @@
 //! * `--f n` — the fusion fault assumption for every cell (grid mode;
 //!   default 1); `sweep_lint grid` flags combinations whose suite
 //!   violates the `n > 2f` soundness bound
+//! * `--golden name` — run a committed golden grid (`open-loop-48`,
+//!   `table2-closed-loop`) instead of describing axes by hand; rejects
+//!   every other grid-shaping flag so the grid's content address is
+//!   exactly the committed one (`--cells`, `--stream`, `--baseline` and
+//!   the output flags still apply)
 //! * `--cells a..b` — run only the grid cells in the half-open range
 //!   `a..b` (grid order); rows keep their grid indices and derived
 //!   seeds, so shards from different processes concatenate into the
 //!   full report
+//! * `--stream` — grid mode only: instead of a table/CSV/JSON report,
+//!   write the framed worker protocol `sweep_drive` consumes to stdout
+//!   (a versioned `shard` header carrying the grid's content address
+//!   and cell range, one `row index seed csv` frame per finished cell
+//!   in grid order, and a terminal `end rows= checksum=` frame). Rows
+//!   stream as cells finish through the bounded-memory
+//!   `StreamingSweeper`, so arbitrarily large shards run in constant
+//!   space; incompatible with `--csv`, `--json` and `--baseline`
+//! * `--stream-fail-after k` — test instrumentation for the
+//!   coordinator's retry path: exit with code 7 (simulating a worker
+//!   crash) after emitting `k` row frames
 //! * `--closed-loop` — drive each cell through the LandShark vehicle
 //!   control loop (Table II style: one uniformly-random compromised
 //!   sensor per round unless `--honest`); adds the supervisor columns
@@ -73,15 +89,15 @@
 //! * `--baseline-dir path` — the baseline directory (default
 //!   `baselines`)
 
+use std::io::Write;
 use std::process::exit;
 
-use arsf_analyze::{AnalyzeGrid, Severity};
 use arsf_bench::cli::{grid_from_args, grid_mode_requested, parse_cells};
-use arsf_bench::{arg_value, has_flag, TextTable};
+use arsf_bench::drive::{Fnv64, Frame};
+use arsf_bench::{arg_value, baseline_ops, has_flag, TextTable};
 use arsf_core::scenario::registry;
-use arsf_core::sweep::diff::{diff, DiffConfig};
-use arsf_core::sweep::store::Baseline;
-use arsf_core::sweep::{ParallelSweeper, SweepGrid, SweepReport};
+use arsf_core::sweep::store::{grid_address, Baseline};
+use arsf_core::sweep::{ParallelSweeper, StreamingSweeper, SweepGrid, SweepReport};
 
 fn fail(message: &str) -> ! {
     eprintln!("scenario_sweep: {message}");
@@ -92,6 +108,86 @@ fn parsed<T>(result: Result<T, String>) -> T {
     result.unwrap_or_else(|e| fail(&e))
 }
 
+/// `--stream`: emit the framed worker protocol instead of a report.
+/// Row frames stream as cells finish (stdout is line-buffered), so a
+/// `sweep_drive` coordinator sees live progress and the shard runs in
+/// constant memory whatever its size.
+fn stream_mode(threads: usize) -> ! {
+    if !grid_mode_requested() {
+        fail("--stream needs grid mode (pass at least one axis flag or --golden)");
+    }
+    for flag in ["--csv", "--json", "--baseline"] {
+        if arg_value(flag).is_some() {
+            fail(&format!("--stream emits protocol frames; drop {flag}"));
+        }
+    }
+    let grid = parsed(grid_from_args());
+    if let Err(e) = grid.base().validate() {
+        fail(&format!("invalid scenario: {e}"));
+    }
+    let cells = match arg_value("--cells") {
+        Some(spec) => {
+            let cells = parsed(parse_cells(&spec));
+            if cells.end > grid.len() {
+                fail(&format!(
+                    "--cells {}..{} exceeds the {}-cell grid",
+                    cells.start,
+                    cells.end,
+                    grid.len()
+                ));
+            }
+            cells
+        }
+        None => 0..grid.len(),
+    };
+    let fail_after: Option<usize> = arg_value("--stream-fail-after").map(|spec| {
+        parsed(
+            spec.parse()
+                .map_err(|_| format!("--stream-fail-after wants a row count, got `{spec}`")),
+        )
+    });
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let header = Frame::Header {
+        grid: grid_address(&grid),
+        cells: cells.clone(),
+    };
+    if writeln!(out, "{}", header.render()).is_err() {
+        exit(1); // Coordinator hung up; nothing useful left to do.
+    }
+    let mut hash = Fnv64::default();
+    let mut emitted = 0usize;
+    let result = StreamingSweeper::new(threads).try_stream_range(&grid, cells, |row| {
+        let csv = row.to_csv_line();
+        hash.update(csv.as_bytes());
+        hash.update(b"\n");
+        let frame = Frame::Row {
+            index: row.cell,
+            seed: row.seed,
+            csv,
+        };
+        writeln!(out, "{}", frame.render())?;
+        emitted += 1;
+        if fail_after == Some(emitted) {
+            let _ = out.flush();
+            exit(7);
+        }
+        Ok::<(), std::io::Error>(())
+    });
+    if result.is_err() {
+        exit(1); // Broken pipe mid-stream: the coordinator already knows.
+    }
+    let end = Frame::End {
+        rows: emitted,
+        checksum: hash.finish(),
+    };
+    if writeln!(out, "{}", end.render()).is_err() {
+        exit(1);
+    }
+    exit(0);
+}
+
 fn main() {
     let rounds_override: Option<u64> = arg_value("--rounds").and_then(|s| s.parse().ok());
     let sweeper = match arg_value("--threads").map(|s| s.parse::<usize>()) {
@@ -99,6 +195,10 @@ fn main() {
         Some(Ok(threads)) if threads > 0 => ParallelSweeper::new(threads),
         Some(_) => fail("--threads wants a positive integer"),
     };
+
+    if has_flag("--stream") {
+        stream_mode(sweeper.threads());
+    }
 
     // Any grid-shaping flag (including --honest and the closed-loop
     // family, which only make sense for the grid's base scenario)
@@ -189,91 +289,21 @@ fn main() {
     emit(&report, "--json", SweepReport::to_json);
 
     if let (Some(mode), Some(grid)) = (&baseline_mode, &baseline_grid) {
+        // The recording vetoes and check tolerances live in
+        // `arsf_bench::baseline_ops`, shared verbatim with `sweep_drive`
+        // so a driven run and an in-process run freeze or vet a grid
+        // under identical rules.
         let dir = arg_value("--baseline-dir").unwrap_or_else(|| "baselines".to_string());
         let current = Baseline::from_report(grid, &report);
         match mode.as_str() {
-            "record" => {
-                // Refuse to freeze a statically unsound grid: an
-                // error-severity finding means the rows are meaningless
-                // (soundness violated) or the engines got lucky.
-                let errors: Vec<_> = grid
-                    .analyze()
-                    .into_iter()
-                    .filter(|f| f.severity == Severity::Error)
-                    .collect();
-                if !errors.is_empty() {
-                    for finding in &errors {
-                        eprintln!("{}", finding.render());
-                    }
-                    fail("refusing to record a baseline for a grid with error-severity lint findings");
-                }
-                // Likewise refuse cells with no static width bound: the
-                // recorded numbers would be unfalsifiable against the
-                // paper's guarantees.
-                let unbounded: Vec<_> = arsf_analyze::analyze_grid_guarantees(grid)
-                    .into_iter()
-                    .filter(|f| f.lint == "guarantee-unbounded")
-                    .collect();
-                if !unbounded.is_empty() && !has_flag("--allow-unbounded") {
-                    for finding in &unbounded {
-                        eprintln!("{}", finding.render());
-                    }
-                    fail(&format!(
-                        "refusing to record a baseline: {} cell(s) have no static width \
-                         bound (pass --allow-unbounded to record anyway)",
-                        unbounded.len()
-                    ));
-                }
-                // And refuse a grid whose every attacked cell is provably
-                // invisible to its detector: the detection columns would
-                // freeze a tautology (run `sweep_lint detectability` for
-                // the per-cell verdicts).
-                if arsf_analyze::detection_vacuous(grid) && !has_flag("--allow-invisible") {
-                    fail(
-                        "refusing to record a baseline: every corruptible cell is provably \
-                         invisible to its detector, so the detection columns are vacuous \
-                         (pass --allow-invisible to record anyway)",
-                    );
-                }
-                // Finally, the freshly-run numbers must respect every
-                // cross-cell ordering the dominance pass proves: freezing
-                // an inverted pair would make `sweep_lint dominance` fail
-                // forever after.
-                let inversions = arsf_analyze::vet_baseline_dominance(
-                    grid,
-                    &current,
-                    &arsf_analyze::Location::Grid {
-                        name: grid.base().name.clone(),
-                    },
-                );
-                if !inversions.is_empty() && !has_flag("--allow-disorder") {
-                    for finding in &inversions {
-                        eprintln!("{}", finding.render());
-                    }
-                    fail(&format!(
-                        "refusing to record a baseline: {} recorded cell pair(s) invert a \
-                         provable ordering (run `sweep_lint dominance` for the derived \
-                         edges; pass --allow-disorder to record anyway)",
-                        inversions.len()
-                    ));
-                }
-                match current.save(&dir) {
-                    Ok(path) => println!("recorded baseline {}", path.display()),
-                    Err(e) => fail(&format!("recording baseline: {e}")),
-                }
-            }
+            "record" => match baseline_ops::record(grid, &current, &dir) {
+                Ok(path) => println!("recorded baseline {}", path.display()),
+                Err(e) => fail(&e),
+            },
             _ => {
-                let stored = Baseline::load_for_grid(&dir, grid)
-                    .unwrap_or_else(|e| fail(&format!("loading baseline: {e}")));
-                let mut config = DiffConfig::near_exact();
-                if let Some(spec) = arg_value("--tol") {
-                    for (column, tolerance) in parsed(arsf_bench::cli::parse_tolerances(&spec)) {
-                        config = config.with_column(column, tolerance);
-                    }
-                }
-                let result = diff(&stored, &current, &config);
-                print!("{}", result.render());
-                if !result.is_empty() {
+                let (rendered, drifted) = parsed(baseline_ops::check(grid, &current, &dir));
+                print!("{rendered}");
+                if drifted {
                     exit(1);
                 }
             }

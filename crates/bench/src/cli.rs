@@ -398,19 +398,71 @@ pub fn closed_loop_requested() -> bool {
 }
 
 /// Whether the process arguments select grid mode (any axis flag,
-/// `--honest`, or the closed-loop family).
+/// `--honest`, `--golden`, or the closed-loop family).
 pub fn grid_mode_requested() -> bool {
     AXIS_FLAGS
         .iter()
         .any(|flag| crate::arg_value(flag).is_some())
         || crate::has_flag("--honest")
+        || crate::arg_value("--golden").is_some()
         || closed_loop_requested()
 }
 
+/// The value flags that shape the grid (base scenario or axes) and must
+/// therefore be forwarded verbatim from a `sweep_drive` coordinator to
+/// its `scenario_sweep --stream` workers. `--cells` is deliberately
+/// absent: the coordinator assigns each worker its own range.
+const FORWARDED_VALUE_FLAGS: [&str; 14] = [
+    "--golden",
+    "--fusers",
+    "--detectors",
+    "--schedules",
+    "--history",
+    "--seeds",
+    "--suite",
+    "--fault",
+    "--strategy",
+    "--f",
+    "--rounds",
+    "--target",
+    "--deltas",
+    "--platoon",
+];
+
+/// The boolean flags that shape the grid.
+const FORWARDED_BOOL_FLAGS: [&str; 2] = ["--honest", "--closed-loop"];
+
+/// Re-serialises the process's grid-defining flags, so a coordinator
+/// can hand its workers exactly the grid it parsed: a worker running
+/// `scenario_sweep` with these arguments calls [`grid_from_args`] on
+/// the same flag set and reconstructs the identical [`SweepGrid`] (the
+/// shared construction makes disagreement impossible; the protocol's
+/// grid-address header makes it detectable anyway).
+pub fn grid_args_for_forwarding() -> Vec<String> {
+    let mut args = Vec::new();
+    for flag in FORWARDED_VALUE_FLAGS {
+        if let Some(value) = crate::arg_value(flag) {
+            args.push(flag.to_string());
+            args.push(value);
+        }
+    }
+    for flag in FORWARDED_BOOL_FLAGS {
+        if crate::has_flag(flag) {
+            args.push(flag.to_string());
+        }
+    }
+    args
+}
+
 /// Builds the grid-mode [`SweepGrid`] described by the process's
-/// command-line flags — the one construction `scenario_sweep` executes
-/// and `sweep_lint grid` statically analyzes, so the two binaries can
-/// never disagree about what a flag set means.
+/// command-line flags — the one construction `scenario_sweep` executes,
+/// `sweep_lint grid` statically analyzes and `sweep_drive` distributes,
+/// so the binaries can never disagree about what a flag set means.
+///
+/// `--golden <name>` short-circuits to the named committed golden grid
+/// (see [`crate::golden`]) and rejects every other grid-shaping flag:
+/// the point of naming a golden grid is hitting its exact content
+/// address.
 ///
 /// The base scenario defaults to a LandShark with the stealthy fixed
 /// attacker on sensor 0 (open-loop) or Table II's random-each-round
@@ -428,6 +480,34 @@ pub fn grid_mode_requested() -> bool {
 ///
 /// Returns the first flag-parsing error, naming the offending token.
 pub fn grid_from_args() -> Result<SweepGrid, String> {
+    if let Some(name) = crate::arg_value("--golden") {
+        // A golden grid is a complete, committed definition: mixing it
+        // with grid-shaping flags would silently produce a grid with a
+        // different content address than the name promises.
+        let shaping: Vec<&str> = FORWARDED_VALUE_FLAGS
+            .iter()
+            .filter(|&&flag| flag != "--golden" && crate::arg_value(flag).is_some())
+            .chain(
+                FORWARDED_BOOL_FLAGS
+                    .iter()
+                    .filter(|&&flag| crate::has_flag(flag)),
+            )
+            .copied()
+            .collect();
+        if !shaping.is_empty() {
+            return Err(format!(
+                "--golden names a committed grid; drop {}",
+                shaping.join(", ")
+            ));
+        }
+        let names: Vec<&str> = crate::golden::all().iter().map(|(n, _)| *n).collect();
+        return crate::golden::find(&name).ok_or_else(|| {
+            format!(
+                "unknown golden grid `{name}` (one of: {})",
+                names.join(", ")
+            )
+        });
+    }
     let closed_loop = closed_loop_requested();
     let suite = match crate::arg_value("--suite") {
         Some(spec) => parse_suite(&spec)?,

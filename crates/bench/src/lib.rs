@@ -7,7 +7,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline_ops;
 pub mod cli;
+pub mod drive;
 pub mod golden;
 
 /// A minimal fixed-width text table writer for experiment output.

@@ -24,6 +24,10 @@ fn run_sweep_lint(args: &[&str]) -> (i32, String) {
     run(env!("CARGO_BIN_EXE_sweep_lint"), args)
 }
 
+fn run_sweep_drive(args: &[&str]) -> (i32, String) {
+    run(env!("CARGO_BIN_EXE_sweep_drive"), args)
+}
+
 #[test]
 fn parse_cells_rejects_reversed_and_empty_ranges() {
     assert_eq!(parse_cells("5..2").unwrap_err(), "cell range 5..2 is empty");
@@ -114,6 +118,117 @@ fn scenario_sweep_rejects_an_unknown_strategy() {
     assert!(
         stderr.contains("unknown strategy `nope`"),
         "the diagnostic names the strategy: {stderr}"
+    );
+}
+
+#[test]
+fn scenario_sweep_rejects_stream_combined_with_report_flags() {
+    let (code, stderr) = run_scenario_sweep(&["--fusers", "marzullo", "--stream", "--csv", "-"]);
+    assert_eq!(code, 2, "--stream owns stdout: {stderr}");
+    assert!(
+        stderr.contains("--stream emits protocol frames; drop --csv"),
+        "the diagnostic names the clashing flag: {stderr}"
+    );
+}
+
+#[test]
+fn scenario_sweep_rejects_stream_without_grid_mode() {
+    let (code, stderr) = run_scenario_sweep(&["--stream"]);
+    assert_eq!(code, 2, "--stream needs a grid: {stderr}");
+    assert!(stderr.contains("--stream needs grid mode"), "{stderr}");
+}
+
+#[test]
+fn golden_grids_reject_extra_shaping_flags() {
+    let (code, stderr) = run_scenario_sweep(&["--golden", "open-loop-48", "--fusers", "marzullo"]);
+    assert_eq!(code, 2, "--golden is a complete definition: {stderr}");
+    assert!(
+        stderr.contains("--golden names a committed grid; drop --fusers"),
+        "the diagnostic names the extra flag: {stderr}"
+    );
+}
+
+#[test]
+fn unknown_golden_names_list_the_known_grids() {
+    let (code, stderr) = run_scenario_sweep(&["--golden", "nope"]);
+    assert_eq!(code, 2, "an unknown golden name is a usage error: {stderr}");
+    assert!(
+        stderr.contains("unknown golden grid `nope`")
+            && stderr.contains("open-loop-48")
+            && stderr.contains("table2-closed-loop"),
+        "the diagnostic lists the candidates: {stderr}"
+    );
+}
+
+#[test]
+fn sweep_drive_requires_grid_mode() {
+    let (code, stderr) = run_sweep_drive(&[]);
+    assert_eq!(code, 2, "no grid flags is a usage error: {stderr}");
+    assert!(stderr.contains("needs grid mode"), "{stderr}");
+}
+
+#[test]
+fn sweep_drive_rejects_zero_workers() {
+    let (code, stderr) = run_sweep_drive(&["--fusers", "marzullo", "--workers", "0"]);
+    assert_eq!(code, 2, "zero workers is a usage error: {stderr}");
+    assert!(
+        stderr.contains("--workers wants a positive integer"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn sweep_drive_rejects_shard_plans_that_do_not_partition_the_grid() {
+    // marzullo × seeds 1,2 = 2 cells.
+    let grid = ["--fusers", "marzullo", "--seeds", "1,2"];
+    let cases = [
+        ("0..1", "covers 0..1"),         // misses the tail
+        ("1..2", "not contiguous"),      // misses the head
+        ("0..1,0..2", "not contiguous"), // overlap
+        ("0..3", "exceeds"),             // past the end
+        ("1..0", "reversed"),            // backwards range
+        ("0..x", "bad cell index"),      // malformed endpoint
+    ];
+    for (spec, diagnostic) in cases {
+        let mut args = grid.to_vec();
+        args.extend(["--shards", spec]);
+        let (code, stderr) = run_sweep_drive(&args);
+        assert_eq!(code, 2, "shards `{spec}` is a usage error: {stderr}");
+        assert!(
+            stderr.contains(diagnostic),
+            "shards `{spec}` names the defect `{diagnostic}`: {stderr}"
+        );
+        assert!(!stderr.contains("panicked"), "{stderr}");
+    }
+}
+
+#[test]
+fn sweep_drive_rejects_a_malformed_fault_worker_spec() {
+    for (spec, diagnostic) in [
+        ("1", "expected worker:rows[:attempts]"),
+        ("x:1", "bad worker index `x`"),
+        ("1:y", "bad row count `y`"),
+        ("1:1:9", "bad attempt count `9`"),
+    ] {
+        let (code, stderr) = run_sweep_drive(&["--fusers", "marzullo", "--fault-worker", spec]);
+        assert_eq!(code, 2, "--fault-worker {spec} is a usage error: {stderr}");
+        assert!(
+            stderr.contains(diagnostic),
+            "`{spec}` → `{diagnostic}`: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn sweep_drive_rejects_an_unknown_baseline_mode() {
+    let (code, stderr) = run_sweep_drive(&["--fusers", "marzullo", "--baseline", "freeze"]);
+    assert_eq!(
+        code, 2,
+        "an unknown baseline mode is a usage error: {stderr}"
+    );
+    assert!(
+        stderr.contains("--baseline wants `record` or `check`"),
+        "{stderr}"
     );
 }
 

@@ -51,6 +51,9 @@
 
 pub mod diff;
 pub mod store;
+pub mod stream;
+
+pub use stream::StreamingSweeper;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
@@ -485,6 +488,64 @@ pub struct SweepRow {
     pub summary: BatchSummary,
 }
 
+impl SweepRow {
+    /// Renders the row as one CSV data line (no trailing newline) in the
+    /// [`SweepReport::csv_header`] column order — the unit both
+    /// [`SweepReport::to_csv_body`] and the streaming writers emit, so a
+    /// row rendered in isolation is byte-identical to the same row inside
+    /// a full report.
+    pub fn to_csv_line(&self) -> String {
+        let s = &self.summary;
+        let condemned: Vec<String> = s.condemned.iter().map(|c| format!("{c}")).collect();
+        let sup = s.supervisor.as_ref();
+        let join = |parts: Vec<String>| parts.join("|");
+        let cells = [
+            format!("{}", self.cell),
+            csv_field(&s.scenario),
+            csv_field(&self.suite),
+            csv_field(&self.faults),
+            csv_field(&self.attacker),
+            csv_field(&self.schedule),
+            csv_field(&s.fuser),
+            csv_field(&s.detector),
+            format!("{}", self.rounds),
+            format!("{}", self.seed),
+            format!("{}", s.widths.mean()),
+            s.widths.min().map_or(String::new(), |w| format!("{w}")),
+            s.widths.max().map_or(String::new(), |w| format!("{w}")),
+            format!("{}", s.truth_lost),
+            format!("{}", s.truth_loss_rate()),
+            format!("{}", s.fusion_failures),
+            format!("{}", s.flagged_rounds),
+            csv_field(&condemned.join("|")),
+            sup.map_or(String::new(), |v| format!("{}", v.above_rate)),
+            sup.map_or(String::new(), |v| format!("{}", v.below_rate)),
+            sup.map_or(String::new(), |v| format!("{}", v.preemptions)),
+            sup.and_then(|v| v.min_gap)
+                .map_or(String::new(), |g| format!("{g}")),
+            join(
+                s.vehicles
+                    .iter()
+                    .map(|v| format!("{}", v.widths.mean()))
+                    .collect(),
+            ),
+            join(
+                s.vehicles
+                    .iter()
+                    .map(|v| v.widths.max().map_or(String::new(), |w| format!("{w}")))
+                    .collect(),
+            ),
+            join(
+                s.vehicles
+                    .iter()
+                    .map(|v| format!("{}", v.truth_lost))
+                    .collect(),
+            ),
+        ];
+        cells.join(",")
+    }
+}
+
 /// An ordered sweep result: rows are always in grid order, whatever
 /// thread interleaving produced them.
 #[derive(Debug, Clone, PartialEq)]
@@ -538,54 +599,7 @@ impl SweepReport {
     pub fn to_csv_body(&self) -> String {
         let mut out = String::new();
         for row in &self.rows {
-            let s = &row.summary;
-            let condemned: Vec<String> = s.condemned.iter().map(|c| format!("{c}")).collect();
-            let sup = s.supervisor.as_ref();
-            let join = |parts: Vec<String>| parts.join("|");
-            let cells = [
-                format!("{}", row.cell),
-                csv_field(&s.scenario),
-                csv_field(&row.suite),
-                csv_field(&row.faults),
-                csv_field(&row.attacker),
-                csv_field(&row.schedule),
-                csv_field(&s.fuser),
-                csv_field(&s.detector),
-                format!("{}", row.rounds),
-                format!("{}", row.seed),
-                format!("{}", s.widths.mean()),
-                s.widths.min().map_or(String::new(), |w| format!("{w}")),
-                s.widths.max().map_or(String::new(), |w| format!("{w}")),
-                format!("{}", s.truth_lost),
-                format!("{}", s.truth_loss_rate()),
-                format!("{}", s.fusion_failures),
-                format!("{}", s.flagged_rounds),
-                csv_field(&condemned.join("|")),
-                sup.map_or(String::new(), |v| format!("{}", v.above_rate)),
-                sup.map_or(String::new(), |v| format!("{}", v.below_rate)),
-                sup.map_or(String::new(), |v| format!("{}", v.preemptions)),
-                sup.and_then(|v| v.min_gap)
-                    .map_or(String::new(), |g| format!("{g}")),
-                join(
-                    s.vehicles
-                        .iter()
-                        .map(|v| format!("{}", v.widths.mean()))
-                        .collect(),
-                ),
-                join(
-                    s.vehicles
-                        .iter()
-                        .map(|v| v.widths.max().map_or(String::new(), |w| format!("{w}")))
-                        .collect(),
-                ),
-                join(
-                    s.vehicles
-                        .iter()
-                        .map(|v| format!("{}", v.truth_lost))
-                        .collect(),
-                ),
-            ];
-            out.push_str(&cells.join(","));
+            out.push_str(&row.to_csv_line());
             out.push('\n');
         }
         out

@@ -1,0 +1,398 @@
+//! Streaming sweep execution: rows are handed to the caller in grid
+//! order as cells finish, with a bounded reorder window instead of a
+//! whole-report buffer.
+//!
+//! [`super::ParallelSweeper`] materialises every row before returning,
+//! which caps grid size at available memory and hides all progress
+//! until the end. [`StreamingSweeper`] runs the same cells with the
+//! same per-cell derived seeds — so its output is byte-identical — but
+//! emits each [`SweepRow`] through a caller-supplied sink the moment
+//! the in-order prefix is complete.
+//!
+//! Ordering with bounded memory: workers claim cell indices from a
+//! shared counter, but a permit gate caps how many cells may be
+//! claimed-and-unemitted at once (the *window*). Finished rows land in
+//! a reorder buffer keyed by cell index; the consumer emits the
+//! contiguous prefix and releases one permit per emitted row. A slow
+//! cell therefore stalls claims after at most `window` rows pile up
+//! behind it — the buffer never grows past the window, whatever the
+//! thread interleaving.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::thread;
+
+use super::{run_cell, SweepCell, SweepGrid, SweepReport, SweepRow};
+use crate::RoundOutcome;
+
+/// Counting-semaphore gate over claimable cells. `close` wakes every
+/// blocked worker so an early sink error (or consumer exit) never
+/// leaves a thread parked forever.
+struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+struct GateState {
+    available: usize,
+    closed: bool,
+}
+
+impl Gate {
+    fn new(permits: usize) -> Self {
+        Gate {
+            state: Mutex::new(GateState {
+                available: permits,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a permit is available; `false` means the gate was
+    /// closed and the caller should stop claiming work.
+    fn acquire(&self) -> bool {
+        let mut state = self.state.lock().unwrap();
+        while state.available == 0 && !state.closed {
+            state = self.cv.wait(state).unwrap();
+        }
+        if state.closed {
+            return false;
+        }
+        state.available -= 1;
+        true
+    }
+
+    fn release(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.available += 1;
+        drop(state);
+        self.cv.notify_one();
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.closed = true;
+        drop(state);
+        self.cv.notify_all();
+    }
+}
+
+/// Multi-threaded sweep executor that delivers rows in grid order as
+/// they complete, holding at most a bounded window of finished rows in
+/// memory. Same work partitioning guarantees as
+/// [`super::ParallelSweeper`]: per-cell seeds come from the grid, so
+/// the emitted rows are byte-identical to a serial run's.
+#[derive(Debug, Clone)]
+pub struct StreamingSweeper {
+    threads: usize,
+    window: usize,
+}
+
+impl StreamingSweeper {
+    /// A sweeper with `threads` workers and a default reorder window of
+    /// `threads * 8` cells. Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "a sweep needs at least one thread");
+        StreamingSweeper {
+            threads,
+            window: threads * 8,
+        }
+    }
+
+    /// Overrides the reorder window: the maximum number of cells that
+    /// may be claimed but not yet emitted. A window of 1 degenerates to
+    /// strictly serial claiming; larger windows let fast cells run
+    /// ahead of a slow one. Values below 1 are clamped to 1.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Streams the whole grid through `sink` in grid order.
+    pub fn stream<E>(
+        &self,
+        grid: &SweepGrid,
+        sink: impl FnMut(SweepRow) -> Result<(), E>,
+    ) -> Result<(), E> {
+        self.try_stream_range(grid, 0..grid.len(), sink)
+    }
+
+    /// Streams a contiguous cell range through `sink` in grid order.
+    /// Panics if `range.end` exceeds the grid length (matching
+    /// [`super::ParallelSweeper::run_range`]).
+    pub fn stream_range(
+        &self,
+        grid: &SweepGrid,
+        range: Range<usize>,
+        mut sink: impl FnMut(SweepRow),
+    ) {
+        let result: Result<(), std::convert::Infallible> =
+            self.try_stream_range(grid, range, |row| {
+                sink(row);
+                Ok(())
+            });
+        // Infallible: the sink cannot fail.
+        result.unwrap_or_default();
+    }
+
+    /// Streams a contiguous cell range through a fallible `sink` in grid
+    /// order. An `Err` stops claiming new cells promptly (in-flight
+    /// cells finish and are discarded) and is returned to the caller.
+    /// Panics if `range.end` exceeds the grid length.
+    pub fn try_stream_range<E>(
+        &self,
+        grid: &SweepGrid,
+        range: Range<usize>,
+        mut sink: impl FnMut(SweepRow) -> Result<(), E>,
+    ) -> Result<(), E> {
+        assert!(
+            range.end <= grid.len(),
+            "cell range {}..{} exceeds the grid's {} cells",
+            range.start,
+            range.end,
+            grid.len()
+        );
+        let start = range.start;
+        let n = range.len();
+        if n == 0 {
+            return Ok(());
+        }
+
+        if self.threads.min(n) <= 1 {
+            // Serial fast path: cells already finish in grid order.
+            let mut buffer = RoundOutcome::default();
+            for index in range {
+                let cell = SweepCell {
+                    index,
+                    scenario: grid.scenario(index),
+                };
+                sink(run_cell(cell, &mut buffer))?;
+            }
+            return Ok(());
+        }
+
+        let gate = Gate::new(self.window.max(1));
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let (tx, rx) = mpsc::channel::<SweepRow>();
+        let mut result: Result<(), E> = Ok(());
+
+        thread::scope(|scope| {
+            for _ in 0..self.threads.min(n) {
+                let tx = tx.clone();
+                let gate = &gate;
+                let next = &next;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut buffer = RoundOutcome::default();
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if !gate.acquire() {
+                            break;
+                        }
+                        let offset = next.fetch_add(1, Ordering::Relaxed);
+                        if offset >= n {
+                            // Hand the permit back before leaving, or a
+                            // peer blocked in acquire would never wake.
+                            gate.release();
+                            break;
+                        }
+                        let index = start + offset;
+                        let cell = SweepCell {
+                            index,
+                            scenario: grid.scenario(index),
+                        };
+                        let row = run_cell(cell, &mut buffer);
+                        if tx.send(row).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            // Only workers hold senders now, so `rx` disconnects once
+            // they all finish.
+            drop(tx);
+
+            let mut pending: BTreeMap<usize, SweepRow> = BTreeMap::new();
+            let mut emit_next = 0usize;
+            while emit_next < n {
+                let Ok(row) = rx.recv() else {
+                    // Workers are gone with rows outstanding: only
+                    // possible after an error already stopped the run.
+                    break;
+                };
+                pending.insert(row.cell - start, row);
+                let mut failed = false;
+                while let Some(row) = pending.remove(&emit_next) {
+                    emit_next += 1;
+                    gate.release();
+                    if let Err(e) = sink(row) {
+                        result = Err(e);
+                        failed = true;
+                        break;
+                    }
+                }
+                if failed {
+                    break;
+                }
+            }
+            // Normal completion and early error alike: unpark any
+            // still-blocked workers so the scope can join.
+            stop.store(true, Ordering::Relaxed);
+            gate.close();
+            // Drain so no worker blocks on a full... (channel is
+            // unbounded, but be explicit about discarding late rows).
+            while rx.try_recv().is_ok() {}
+        });
+
+        result
+    }
+
+    /// Runs the whole grid, collecting the stream into a report —
+    /// byte-identical to [`super::ParallelSweeper::run`].
+    pub fn run(&self, grid: &SweepGrid) -> SweepReport {
+        self.run_range(grid, 0..grid.len())
+    }
+
+    /// Runs a contiguous cell range, collecting the stream into a
+    /// report. Panics if `range.end` exceeds the grid length.
+    pub fn run_range(&self, grid: &SweepGrid, range: Range<usize>) -> SweepReport {
+        let mut rows = Vec::with_capacity(range.len());
+        self.stream_range(grid, range, |row| rows.push(row));
+        SweepReport { rows }
+    }
+
+    /// Streams a range as CSV straight into a writer: optional header,
+    /// then one [`SweepRow::to_csv_line`] per cell in grid order. The
+    /// bytes match [`SweepReport::to_csv`]/`to_csv_body` exactly, but
+    /// no report is ever materialised.
+    pub fn write_csv<W: io::Write>(
+        &self,
+        grid: &SweepGrid,
+        range: Range<usize>,
+        header: bool,
+        out: &mut W,
+    ) -> io::Result<()> {
+        if header {
+            out.write_all(SweepReport::csv_header().as_bytes())?;
+        }
+        self.try_stream_range(grid, range, |row| {
+            out.write_all(row.to_csv_line().as_bytes())?;
+            out.write_all(b"\n")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{AttackerSpec, FuserSpec, Scenario, StrategySpec, SuiteSpec};
+    use crate::sweep::ParallelSweeper;
+    use crate::DetectionMode;
+    use arsf_schedule::SchedulePolicy;
+
+    fn grid() -> SweepGrid {
+        // 2 fusers × 2 detectors × 2 schedules × 2 seeds = 16 cells.
+        let base = Scenario::new("stream", SuiteSpec::Landshark)
+            .with_attacker(AttackerSpec::Fixed {
+                sensors: vec![0],
+                strategy: StrategySpec::PhantomOptimal,
+            })
+            .with_rounds(40);
+        SweepGrid::new(base)
+            .fusers([FuserSpec::Marzullo, FuserSpec::BrooksIyengar])
+            .detectors([DetectionMode::Off, DetectionMode::Immediate])
+            .schedules([SchedulePolicy::Ascending, SchedulePolicy::Descending])
+            .seeds([2014, 99])
+    }
+
+    #[test]
+    fn streaming_run_matches_parallel_run_for_all_shapes() {
+        let grid = grid();
+        let reference = ParallelSweeper::new(2).run(&grid);
+        for threads in [1, 2, 3, 8] {
+            for window in [1, 2, 8] {
+                let streamed = StreamingSweeper::new(threads)
+                    .with_window(window)
+                    .run(&grid);
+                assert_eq!(
+                    streamed.to_csv(),
+                    reference.to_csv(),
+                    "threads={threads} window={window}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rows_arrive_in_grid_order() {
+        let grid = grid();
+        let mut seen = Vec::new();
+        StreamingSweeper::new(4)
+            .with_window(2)
+            .stream_range(&grid, 0..grid.len(), |row| seen.push(row.cell));
+        let expected: Vec<usize> = (0..grid.len()).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn shard_ranges_concatenate_into_the_full_report() {
+        let grid = grid();
+        let full = ParallelSweeper::new(2).run(&grid).to_csv_body();
+        let sweeper = StreamingSweeper::new(3);
+        let mut joined = String::new();
+        let n = grid.len();
+        for range in [0..5, 5..6, 6..6, 6..n] {
+            joined.push_str(&sweeper.run_range(&grid, range).to_csv_body());
+        }
+        assert_eq!(joined, full);
+    }
+
+    #[test]
+    fn write_csv_matches_to_csv() {
+        let grid = grid();
+        let expected = ParallelSweeper::new(2).run(&grid).to_csv();
+        let mut out = Vec::new();
+        StreamingSweeper::new(3)
+            .write_csv(&grid, 0..grid.len(), true, &mut out)
+            .expect("vec write succeeds");
+        assert_eq!(String::from_utf8(out).unwrap(), expected);
+    }
+
+    #[test]
+    fn sink_error_stops_the_stream_without_deadlock() {
+        let grid = grid();
+        let mut delivered = 0usize;
+        let result: Result<(), &str> =
+            StreamingSweeper::new(4)
+                .with_window(1)
+                .try_stream_range(&grid, 0..grid.len(), |row| {
+                    if row.cell >= 3 {
+                        return Err("sink full");
+                    }
+                    delivered += 1;
+                    Ok(())
+                });
+        assert_eq!(result, Err("sink full"));
+        assert_eq!(delivered, 3, "exactly the pre-error prefix was delivered");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the grid")]
+    fn out_of_bounds_range_panics_like_parallel_sweeper() {
+        let grid = grid();
+        StreamingSweeper::new(2).run_range(&grid, 0..grid.len() + 1);
+    }
+}
